@@ -1,0 +1,70 @@
+// Command orthrus-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	orthrus-bench -list
+//	orthrus-bench -experiment fig4b
+//	orthrus-bench -experiment all -duration 1s -records 1000000 -threads 80
+//
+// Each experiment prints the same series the corresponding paper figure
+// plots; see EXPERIMENTS.md for the expected shapes and the recorded
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (fig1, fig4a, ... fig12b) or 'all'")
+		list       = flag.Bool("list", false, "list available experiments")
+		duration   = flag.Duration("duration", 300*time.Millisecond, "measured duration per data point")
+		records    = flag.Uint64("records", 100_000, "YCSB table size (paper: 10,000,000)")
+		recordSize = flag.Int("recordsize", 100, "record payload bytes (paper: 1,000)")
+		threads    = flag.Int("threads", 80, "cap on the thread-count axes (paper machine: 80 cores)")
+		items      = flag.Int("tpcc-items", 1000, "TPC-C items per warehouse (spec: 100,000)")
+		custs      = flag.Int("tpcc-customers", 100, "TPC-C customers per district (spec: 3,000)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available experiments:")
+		for _, e := range harness.Registry() {
+			fmt.Printf("  %-8s %-13s %s\n", e.ID, e.Figure, e.Description)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "orthrus-bench: -experiment or -list required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := harness.Config{
+		Duration:      *duration,
+		Records:       *records,
+		RecordSize:    *recordSize,
+		MaxThreads:    *threads,
+		TPCCItems:     *items,
+		TPCCCustomers: *custs,
+		Out:           os.Stdout,
+	}.Defaults()
+
+	if *experiment == "all" {
+		for _, e := range harness.Registry() {
+			e.Run(cfg)
+		}
+		return
+	}
+	e, ok := harness.Get(*experiment)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "orthrus-bench: unknown experiment %q (try -list)\n", *experiment)
+		os.Exit(2)
+	}
+	e.Run(cfg)
+}

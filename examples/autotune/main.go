@@ -1,0 +1,36 @@
+// Autotune: let the library pick the CC/exec thread split for a thread
+// budget by probing the live workload — the §4.2 thread-allocation
+// trade-off ("too few execution threads causes under-utilization of
+// concurrency control threads, and vice-versa") resolved empirically.
+//
+//	go run ./examples/autotune -threads 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		threads  = flag.Int("threads", 16, "total thread budget")
+		records  = flag.Uint64("records", 1<<18, "table size")
+		duration = flag.Duration("duration", time.Second, "measured run after tuning")
+	)
+	flag.Parse()
+
+	db := repro.NewDB()
+	tbl := db.Create(repro.Layout{Name: "ycsb", NumRecords: *records, RecordSize: 100})
+	src := &repro.YCSB{Table: tbl, NumRecords: *records, OpsPerTxn: 10, HotRecords: 64, HotOps: 2}
+
+	fmt.Printf("probing CC/exec splits for a %d-thread budget...\n", *threads)
+	cfg := repro.AutotuneOrthrus(db, *threads, repro.HashPartitioner(*threads), src, 100*time.Millisecond)
+	fmt.Printf("chosen: %d concurrency-control + %d execution threads\n\n", cfg.CCThreads, cfg.ExecThreads)
+
+	res := repro.NewOrthrus(cfg).Run(src, *duration)
+	fmt.Println(res)
+	fmt.Printf("latency: %v\n", &res.Totals.Latency)
+}

@@ -1,0 +1,117 @@
+package deadlock
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lock"
+)
+
+// This file adds two classic policies beyond the paper's lineup, for the
+// handler ablation benches: NO_WAIT (evaluated by Yu et al. [50], the
+// study that motivated the paper) and wound-wait (the dual of wait-die).
+
+// NoWait aborts a requester on any conflict — the simplest possible
+// deadlock prevention: nobody ever waits, so no cycle can form. Under
+// high contention its abort rate is extreme, which is exactly why it is
+// an interesting extra baseline.
+type NoWait struct{}
+
+// Name implements lock.Handler.
+func (NoWait) Name() string { return "2pl-nowait" }
+
+// OnConflict implements lock.Handler.
+func (NoWait) OnConflict(*lock.Request, []*lock.Request) lock.Decision { return lock.Die }
+
+// Wait implements lock.Handler; unreachable because conflicts always die.
+func (NoWait) Wait(_ *lock.Table, r *lock.Request) bool { r.AwaitToken(); return true }
+
+// OnGranted implements lock.Handler.
+func (NoWait) OnGranted(*lock.Request) {}
+
+// OnAborted implements lock.Handler.
+func (NoWait) OnAborted(*lock.Request) {}
+
+// WoundWait is the dual of wait-die: an *older* requester wounds (aborts)
+// younger conflicting transactions instead of waiting behind them, and a
+// *younger* requester waits. Waits therefore only go young→old, so the
+// waits-for relation is acyclic; and because old transactions never abort,
+// progress is guaranteed.
+//
+// Wounding crosses threads: the victim may be running transaction logic
+// or parked on another lock. Each worker thread has a wound slot holding
+// the victim transaction id; victims notice at their next lock request
+// (PreAcquire) or at their parked-wait recheck tick.
+type WoundWait struct {
+	wounds []atomic.Uint64 // per thread: wounded txn id (0 = none)
+	// recheck is the parked waiter's poll interval.
+	recheck time.Duration
+}
+
+// NewWoundWait returns a policy instance for nthreads worker threads.
+func NewWoundWait(nthreads int) *WoundWait {
+	return &WoundWait{wounds: make([]atomic.Uint64, nthreads), recheck: time.Millisecond}
+}
+
+// Name implements lock.Handler.
+func (w *WoundWait) Name() string { return "2pl-woundwait" }
+
+// wounded reports whether req's transaction is the current victim of its
+// thread's wound slot.
+func (w *WoundWait) woundedNow(req *lock.Request) bool {
+	return w.wounds[req.Thread].Load() == req.TxnID
+}
+
+// PreAcquire implements lock.PreAcquirer: a wounded transaction aborts at
+// its next lock request.
+func (w *WoundWait) PreAcquire(req *lock.Request) bool {
+	return !w.woundedNow(req)
+}
+
+// OnConflict implements lock.Handler: an older requester wounds every
+// younger conflicting transaction and then waits for the queue to drain;
+// a younger requester just waits.
+func (w *WoundWait) OnConflict(req *lock.Request, ahead []*lock.Request) lock.Decision {
+	for _, a := range ahead {
+		if req.TS < a.TS && a.Thread != req.Thread {
+			// Store the victim's txn id; stale ids from completed
+			// transactions never match a live one, so no explicit clear
+			// is needed.
+			w.wounds[a.Thread].Store(a.TxnID)
+		}
+	}
+	return lock.Wait
+}
+
+// Wait implements lock.Handler: park, but poll the wound slot so a victim
+// parked behind a lock does not hold the cycle together.
+func (w *WoundWait) Wait(_ *lock.Table, req *lock.Request) bool {
+	timer := time.NewTimer(w.recheck)
+	defer timer.Stop()
+	for {
+		select {
+		case <-req.Ready():
+			return true
+		case <-timer.C:
+			if w.woundedNow(req) {
+				return false
+			}
+			timer.Reset(w.recheck)
+		}
+	}
+}
+
+// OnGranted implements lock.Handler.
+func (w *WoundWait) OnGranted(*lock.Request) {}
+
+// OnAborted implements lock.Handler: consume the wound so the thread's
+// next transaction starts clean even if ids were ever reused.
+func (w *WoundWait) OnAborted(req *lock.Request) {
+	w.wounds[req.Thread].CompareAndSwap(req.TxnID, 0)
+}
+
+var (
+	_ lock.Handler     = NoWait{}
+	_ lock.Handler     = (*WoundWait)(nil)
+	_ lock.PreAcquirer = (*WoundWait)(nil)
+)

@@ -1,0 +1,168 @@
+package deadlock
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/txn"
+)
+
+func TestNoWaitAbortsOnAnyConflict(t *testing.T) {
+	tbl := lock.NewTable(16, NoWait{})
+	var f lock.Freelist
+	h := f.Get(1, 1, 0)
+	if _, err := tbl.Acquire(h, 0, 1, txn.Write); err != nil {
+		t.Fatal(err)
+	}
+	r := f.Get(2, 2, 1)
+	if _, err := tbl.Acquire(r, 0, 1, txn.Read); !errors.Is(err, txn.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	// Non-conflicting acquisitions proceed.
+	r2 := f.Get(3, 3, 1)
+	if _, err := tbl.Acquire(r2, 0, 2, txn.Write); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Release(h)
+	tbl.Release(r2)
+}
+
+func TestNoWaitResolvesDeadlock(t *testing.T) {
+	tbl := lock.NewTable(16, NoWait{})
+	err1, err2 := buildABDeadlock(t, tbl)
+	if err1 == nil && err2 == nil {
+		t.Fatal("no-wait allowed both sides through a crossing conflict")
+	}
+}
+
+func TestWoundWaitOlderWoundsParkedYounger(t *testing.T) {
+	w := NewWoundWait(3)
+	w.recheck = 200 * time.Microsecond
+	tbl := lock.NewTable(16, w)
+	var f lock.Freelist
+
+	// Thread 0: young holder of key A (ts=100).
+	young := f.Get(10, 100, 0)
+	if _, err := tbl.Acquire(young, 0, 1, txn.Write); err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1: the same young transaction parks on key B held by a third.
+	third := f.Get(30, 50, 2)
+	if _, err := tbl.Acquire(third, 0, 2, txn.Write); err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan error, 1)
+	go func() {
+		var f2 lock.Freelist
+		r := f2.Get(10, 100, 0) // same txn identity as `young`
+		_, err := tbl.Acquire(r, 0, 2, txn.Write)
+		if err == nil {
+			tbl.Release(r)
+		}
+		parked <- err
+	}()
+	time.Sleep(2 * time.Millisecond) // let it park
+
+	// Thread 2: old requester (ts=10) conflicts with the young holder on
+	// key A. It must wound txn 10 rather than die.
+	done := make(chan error, 1)
+	go func() {
+		var f3 lock.Freelist
+		old := f3.Get(20, 10, 1)
+		_, err := tbl.Acquire(old, 0, 1, txn.Write)
+		if err == nil {
+			tbl.Release(old)
+		}
+		done <- err
+	}()
+
+	// The parked young transaction must abort via the wound poll.
+	select {
+	case err := <-parked:
+		if !errors.Is(err, txn.ErrAborted) {
+			t.Fatalf("parked young txn: err = %v, want ErrAborted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("wounded parked transaction never aborted")
+	}
+
+	// The young transaction's abort path releases its locks; the old
+	// requester then proceeds.
+	tbl.Release(young) // the engine would do this during abort handling
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("old requester aborted: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("old requester never granted after victim release")
+	}
+	tbl.Release(third)
+}
+
+func TestWoundWaitVictimAbortsAtNextAcquire(t *testing.T) {
+	w := NewWoundWait(2)
+	tbl := lock.NewTable(16, w)
+	var f lock.Freelist
+
+	young := f.Get(5, 200, 0)
+	if _, err := tbl.Acquire(young, 0, 1, txn.Write); err != nil {
+		t.Fatal(err)
+	}
+	// Old requester wounds the young holder and waits.
+	granted := make(chan struct{})
+	go func() {
+		var f2 lock.Freelist
+		old := f2.Get(6, 20, 1)
+		if _, err := tbl.Acquire(old, 0, 1, txn.Write); err == nil {
+			tbl.Release(old)
+		}
+		close(granted)
+	}()
+	// Wait until the wound lands.
+	deadline := time.Now().Add(time.Second)
+	for w.wounds[0].Load() != 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("wound never landed")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// The victim's next acquire must abort via PreAcquire.
+	next := f.Get(5, 200, 0)
+	if _, err := tbl.Acquire(next, 0, 9, txn.Write); !errors.Is(err, txn.ErrAborted) {
+		t.Fatalf("wounded victim acquire: err = %v, want ErrAborted", err)
+	}
+	tbl.Release(young)
+	<-granted
+}
+
+func TestWoundWaitResolvesRing(t *testing.T) {
+	// Reuse the generic ring scenario through the common helper.
+	tbl := lock.NewTable(16, NewWoundWait(2))
+	err1, err2 := buildABDeadlock(t, tbl)
+	aborts := 0
+	for _, err := range []error{err1, err2} {
+		if errors.Is(err, txn.ErrAborted) {
+			aborts++
+		} else if err != nil {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if aborts == 0 {
+		t.Fatal("wound-wait resolved an A/B deadlock with zero aborts")
+	}
+}
+
+func TestWoundWaitStaleWoundIgnored(t *testing.T) {
+	w := NewWoundWait(1)
+	tbl := lock.NewTable(16, w)
+	w.wounds[0].Store(999) // stale victim id from a past transaction
+	var f lock.Freelist
+	r := f.Get(1000, 1, 0)
+	if _, err := tbl.Acquire(r, 0, 1, txn.Write); err != nil {
+		t.Fatalf("stale wound aborted an innocent transaction: %v", err)
+	}
+	tbl.Release(r)
+}

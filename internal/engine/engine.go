@@ -1,0 +1,146 @@
+// Package engine defines the interface every system implements (ORTHRUS,
+// 2PL with each deadlock handler, Deadlock-free locking, Partitioned-
+// store) plus machinery they share: the closed-loop worker runner, undo
+// logging for in-place writes, and per-thread transaction identities.
+//
+// Every engine runs the same workload Sources against the same storage.DB,
+// so measured differences come from concurrency control alone — the
+// paper's methodology (§4: all systems are implemented "within the same
+// ORTHRUS transaction management codebase").
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Engine runs a workload for a fixed duration with its configured thread
+// counts and reports throughput and time-breakdown metrics.
+type Engine interface {
+	// Name identifies the system in harness output.
+	Name() string
+	// Run drives src closed-loop for roughly the given duration.
+	Run(src workload.Source, duration time.Duration) metrics.Result
+}
+
+// RunWorkers starts n workers, lets them run for duration, then signals
+// stop and waits for them to drain. It returns the measured elapsed time
+// (from start until the last worker exits, which includes drain time for
+// in-flight transactions).
+func RunWorkers(n int, duration time.Duration, worker func(thread int, stop *atomic.Bool)) time.Duration {
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			worker(i, &stop)
+		}(i)
+	}
+	timer := time.AfterFunc(duration, func() { stop.Store(true) })
+	wg.Wait()
+	timer.Stop()
+	return time.Since(start)
+}
+
+// IDSource hands out transaction ids unique across threads without shared
+// state: the thread id lives in the top 16 bits.
+type IDSource struct {
+	next uint64
+}
+
+// NewIDSource returns an id source for the given thread.
+func NewIDSource(thread int) *IDSource {
+	return &IDSource{next: uint64(thread) << 48}
+}
+
+// Next returns a fresh transaction id.
+func (s *IDSource) Next() uint64 {
+	s.next++
+	return s.next
+}
+
+// tsEpoch anchors wait-die timestamps so the nanosecond count fits in 54
+// bits (decades of uptime); shifting a raw UnixNano by 10 would overflow
+// uint64 and scramble the age order wait-die depends on.
+var tsEpoch = time.Now()
+
+// Timestamp returns a wait-die timestamp: monotonic nanoseconds since
+// process start with the thread id in the low bits — the software
+// analogue of the paper's core-local timestamp counters (cheap,
+// contention-free, totally ordered, roughly arrival-ordered across
+// threads).
+func Timestamp(thread int) uint64 {
+	return uint64(time.Since(tsEpoch))<<10 | uint64(thread&0x3FF)
+}
+
+// UndoLog captures before-images of records mutated in place so an aborted
+// transaction's writes can be rolled back. One log lives per worker
+// thread and is reused across transactions; image bytes come from a
+// growing arena, so steady state performs no allocation.
+type UndoLog struct {
+	recs  [][]byte // the live record slices
+	imgs  [][]byte // before-images (arena-backed)
+	arena []byte
+}
+
+// Record saves rec's current contents. Call before the first mutation of
+// each record.
+func (u *UndoLog) Record(rec []byte) {
+	n := len(rec)
+	if len(u.arena) < n {
+		sz := 1 << 16
+		if n > sz {
+			sz = n
+		}
+		u.arena = make([]byte, sz)
+	}
+	img := u.arena[:n:n]
+	u.arena = u.arena[n:]
+	copy(img, rec)
+	u.recs = append(u.recs, rec)
+	u.imgs = append(u.imgs, img)
+}
+
+// Rollback restores all recorded before-images in reverse order and
+// resets the log. Eight-byte-aligned records are restored with word-wise
+// atomic stores so the restore cannot race OLLP reconnaissance readers,
+// which read individual fields atomically without locks (see
+// storage.AtomicGetU64).
+func (u *UndoLog) Rollback() {
+	for i := len(u.recs) - 1; i >= 0; i-- {
+		rec, img := u.recs[i], u.imgs[i]
+		if len(rec)%8 == 0 {
+			for off := 0; off < len(rec); off += 8 {
+				storage.AtomicPutU64(rec, off, storage.GetU64(img, off))
+			}
+		} else {
+			copy(rec, img)
+		}
+	}
+	u.Reset()
+}
+
+// Reset forgets recorded images (after commit).
+func (u *UndoLog) Reset() {
+	u.recs = u.recs[:0]
+	u.imgs = u.imgs[:0]
+}
+
+// Len returns the number of recorded images.
+func (u *UndoLog) Len() int { return len(u.recs) }
+
+// Insert applies an insert through to storage. Inserts are not undone on
+// abort: in this reproduction (as in the paper's prototype) aborted
+// transactions are always retried until commit, and the TPC-C insert keys
+// are derived from counters read under locks, so a retried transaction
+// simply overwrites its earlier insert.
+func Insert(db *storage.DB, table int, key uint64, value []byte) error {
+	return db.Table(table).Insert(key, value)
+}

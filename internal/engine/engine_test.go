@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+func TestUndoLogRollback(t *testing.T) {
+	var u UndoLog
+	a := []byte{1, 2, 3, 4}
+	b := []byte{5, 6, 7, 8}
+	u.Record(a)
+	copy(a, []byte{9, 9, 9, 9})
+	u.Record(b)
+	copy(b, []byte{8, 8, 8, 8})
+	if u.Len() != 2 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+	u.Rollback()
+	if !bytes.Equal(a, []byte{1, 2, 3, 4}) || !bytes.Equal(b, []byte{5, 6, 7, 8}) {
+		t.Fatalf("rollback failed: a=%v b=%v", a, b)
+	}
+	if u.Len() != 0 {
+		t.Fatal("log not reset after rollback")
+	}
+}
+
+func TestUndoLogDoubleRecordRestoresFirstImage(t *testing.T) {
+	var u UndoLog
+	rec := []byte{1}
+	u.Record(rec)
+	rec[0] = 2
+	u.Record(rec) // second image (value 2)
+	rec[0] = 3
+	u.Rollback() // reverse order: restore 2, then 1
+	if rec[0] != 1 {
+		t.Fatalf("rec = %d, want 1", rec[0])
+	}
+}
+
+func TestUndoLogResetOnCommit(t *testing.T) {
+	var u UndoLog
+	rec := []byte{1}
+	u.Record(rec)
+	rec[0] = 2
+	u.Reset()
+	u.Rollback() // must be a no-op
+	if rec[0] != 2 {
+		t.Fatal("Rollback after Reset modified record")
+	}
+}
+
+func TestUndoLogArenaGrowth(t *testing.T) {
+	var u UndoLog
+	big := make([]byte, 1<<17) // larger than the default arena chunk
+	big[0] = 7
+	u.Record(big)
+	big[0] = 8
+	u.Rollback()
+	if big[0] != 7 {
+		t.Fatal("large record not restored")
+	}
+}
+
+func TestIDSourceUniqueAcrossThreads(t *testing.T) {
+	a, b := NewIDSource(1), NewIDSource(2)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		for _, id := range []uint64{a.Next(), b.Next()} {
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestTimestampMonotonicPerThread(t *testing.T) {
+	prev := Timestamp(3)
+	for i := 0; i < 100; i++ {
+		ts := Timestamp(3)
+		if ts < prev {
+			t.Fatal("timestamp went backwards")
+		}
+		prev = ts
+	}
+	// Thread id occupies the low bits.
+	if Timestamp(5)&0x3FF != 5 {
+		t.Fatal("thread id not embedded")
+	}
+}
+
+func TestRunWorkersStopsAndDrains(t *testing.T) {
+	var iterations atomic.Int64
+	elapsed := RunWorkers(4, 20*time.Millisecond, func(thread int, stop *atomic.Bool) {
+		for !stop.Load() {
+			iterations.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if elapsed < 20*time.Millisecond {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+	if iterations.Load() == 0 {
+		t.Fatal("workers never ran")
+	}
+}
+
+func newPlannedTestDB(t *testing.T) (*storage.DB, int) {
+	t.Helper()
+	db := storage.NewDB()
+	id := db.Create(storage.Layout{Name: "t", NumRecords: 16, RecordSize: 8})
+	return db, id
+}
+
+func TestPlannedCtxEnforcesDeclaredSet(t *testing.T) {
+	db, tbl := newPlannedTestDB(t)
+	tx := &txn.Txn{Ops: []txn.Op{
+		{Table: tbl, Key: 1, Mode: txn.Read},
+		{Table: tbl, Key: 2, Mode: txn.Write},
+	}}
+	tx.SortOps()
+	ctx := &PlannedCtx{DB: db}
+	ctx.Begin(tx)
+
+	if _, err := ctx.Read(tbl, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Read(tbl, 2); err != nil {
+		t.Fatal("read of write-declared key refused:", err)
+	}
+	if _, err := ctx.Write(tbl, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Write(tbl, 1); !errors.Is(err, txn.ErrEstimateMiss) {
+		t.Fatalf("write on read-declared key: err = %v", err)
+	}
+	if _, err := ctx.Read(tbl, 9); !errors.Is(err, txn.ErrEstimateMiss) {
+		t.Fatalf("undeclared read: err = %v", err)
+	}
+}
+
+func TestPlannedCtxAbortRollsBack(t *testing.T) {
+	db, tbl := newPlannedTestDB(t)
+	tx := &txn.Txn{Ops: []txn.Op{{Table: tbl, Key: 3, Mode: txn.Write}}}
+	tx.SortOps()
+	ctx := &PlannedCtx{DB: db}
+	ctx.Begin(tx)
+	rec, err := ctx.Write(tbl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storage.PutU64(rec, 0, 42)
+	ctx.Abort()
+	if storage.GetU64(db.Table(tbl).Get(3), 0) != 0 {
+		t.Fatal("abort did not roll back")
+	}
+
+	ctx.Begin(tx)
+	rec, _ = ctx.Write(tbl, 3)
+	storage.PutU64(rec, 0, 7)
+	ctx.Commit()
+	if storage.GetU64(db.Table(tbl).Get(3), 0) != 7 {
+		t.Fatal("commit lost the write")
+	}
+}
+
+func TestPlannedCtxInsert(t *testing.T) {
+	db := storage.NewDB()
+	tbl := db.Create(storage.Layout{Name: "g", NumRecords: 0, RecordSize: 8, Growable: true})
+	ctx := &PlannedCtx{DB: db}
+	ctx.Begin(&txn.Txn{})
+	if err := ctx.Insert(tbl, 5, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table(tbl).Get(5) == nil {
+		t.Fatal("insert not visible")
+	}
+}

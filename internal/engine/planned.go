@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// PlannedCtx is the txn.Ctx used by the planned-access engines (ORTHRUS
+// and Deadlock-free locking): every lock was acquired before Logic runs,
+// so accessors only validate the access against the declared set and
+// record undo images. An access outside the declared set returns
+// txn.ErrEstimateMiss — the OLLP signal that the reconnaissance estimate
+// was wrong and the transaction must be re-planned (paper §3.2).
+type PlannedCtx struct {
+	DB   *storage.DB
+	T    *txn.Txn
+	Undo UndoLog
+}
+
+// Begin attaches the context to a transaction attempt.
+func (c *PlannedCtx) Begin(t *txn.Txn) {
+	c.T = t
+	c.Undo.Reset()
+}
+
+// Read implements txn.Ctx.
+func (c *PlannedCtx) Read(table int, key uint64) ([]byte, error) {
+	if !c.T.Declared(table, key, txn.Read) {
+		return nil, txn.ErrEstimateMiss
+	}
+	return c.DB.Table(table).Get(key), nil
+}
+
+// Write implements txn.Ctx.
+func (c *PlannedCtx) Write(table int, key uint64) ([]byte, error) {
+	if !c.T.Declared(table, key, txn.Write) {
+		return nil, txn.ErrEstimateMiss
+	}
+	rec := c.DB.Table(table).Get(key)
+	c.Undo.Record(rec)
+	return rec, nil
+}
+
+// Insert implements txn.Ctx.
+func (c *PlannedCtx) Insert(table int, key uint64, value []byte) error {
+	return Insert(c.DB, table, key, value)
+}
+
+// Commit discards undo state.
+func (c *PlannedCtx) Commit() { c.Undo.Reset() }
+
+// Abort rolls back in-place writes.
+func (c *PlannedCtx) Abort() { c.Undo.Rollback() }

@@ -1,0 +1,217 @@
+// Package twopl implements the conventional architecture the paper
+// critiques (§2): every worker thread interleaves transaction logic with
+// concurrency control, acquiring locks from the shared lock table at the
+// moment each record is first touched ("dynamic lock acquisition"), with
+// deadlocks handled by a pluggable policy (wait-die, wait-for graph,
+// Dreadlocks). Aborted transactions roll back their in-place writes and
+// retry with the same wait-die timestamp, so old transactions eventually
+// win (no starvation).
+package twopl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// DefaultBuckets is the default lock-table bucket count.
+const DefaultBuckets = 1 << 16
+
+// Config configures a 2PL engine.
+type Config struct {
+	DB      *storage.DB
+	Handler lock.Handler
+	Threads int
+	// Buckets overrides the lock-table bucket count (default 1<<16).
+	Buckets int
+	// MaxRetries bounds per-transaction retries; <=0 means retry until
+	// commit (the paper's behaviour — throughput counts commits only).
+	MaxRetries int
+}
+
+// Engine is a conventional dynamic-2PL execution engine.
+type Engine struct {
+	cfg   Config
+	table *lock.Table
+}
+
+// New builds the engine and its shared lock table.
+func New(cfg Config) *Engine {
+	if cfg.Threads <= 0 {
+		panic("twopl: Threads must be positive")
+	}
+	buckets := cfg.Buckets
+	if buckets == 0 {
+		buckets = DefaultBuckets
+	}
+	return &Engine{cfg: cfg, table: lock.NewTable(buckets, cfg.Handler)}
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("%s(%dt)", e.cfg.Handler.Name(), e.cfg.Threads)
+}
+
+// Table exposes the lock table (tests).
+func (e *Engine) Table() *lock.Table { return e.table }
+
+// Run implements engine.Engine.
+func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result {
+	set := metrics.NewSet(e.cfg.Threads)
+	elapsed := engine.RunWorkers(e.cfg.Threads, duration, func(thread int, stop *atomic.Bool) {
+		e.worker(thread, stop, src, set.Thread(thread))
+	})
+	return metrics.Result{System: e.Name(), Totals: set.Totals(), Duration: elapsed}
+}
+
+func (e *Engine) worker(thread int, stop *atomic.Bool, src workload.Source, stats *metrics.ThreadStats) {
+	rng := rand.New(rand.NewSource(int64(thread)*7919 + 1))
+	ids := engine.NewIDSource(thread)
+	ctx := &execCtx{eng: e, thread: thread}
+
+	for !stop.Load() {
+		t := src.Next(thread, rng)
+		t.ID = ids.Next()
+		t.TS = engine.Timestamp(thread) // fixed across retries: wait-die favors elders
+		retries := 0
+		txStart := time.Now()
+		for {
+			start := time.Now()
+			ctx.begin(t)
+			err := t.Logic(ctx)
+			if err == nil {
+				ctx.commit()
+				total := time.Since(start)
+				stats.Committed++
+				stats.Latency.Record(time.Since(txStart))
+				stats.AddWait(ctx.waited)
+				stats.AddLock(ctx.locked)
+				stats.AddExec(total - ctx.waited - ctx.locked)
+				break
+			}
+			ctx.abort()
+			total := time.Since(start)
+			stats.Aborted++
+			stats.AddWait(ctx.waited)
+			stats.AddLock(ctx.locked)
+			stats.AddExec(total - ctx.waited - ctx.locked)
+			if !errors.Is(err, txn.ErrAborted) {
+				panic(fmt.Sprintf("twopl: transaction logic failed: %v", err))
+			}
+			retries++
+			if e.cfg.MaxRetries > 0 && retries >= e.cfg.MaxRetries {
+				break
+			}
+			if stop.Load() {
+				break
+			}
+			// Yield before retrying so the conflicting holder can finish;
+			// retry storms otherwise starve holders when logical threads
+			// outnumber hardware threads.
+			runtime.Gosched()
+		}
+	}
+}
+
+// execCtx is the txn.Ctx for dynamic 2PL: locks are acquired on first
+// touch; an undo log backs out in-place writes on abort.
+type execCtx struct {
+	eng    *Engine
+	thread int
+
+	t      *txn.Txn
+	held   []*lock.Request
+	undo   engine.UndoLog
+	fl     lock.Freelist
+	waited time.Duration // lock-wait time this attempt
+	locked time.Duration // lock-manager work time this attempt
+}
+
+func (c *execCtx) begin(t *txn.Txn) {
+	c.t = t
+	c.held = c.held[:0]
+	c.undo.Reset()
+	c.waited, c.locked = 0, 0
+}
+
+// heldMode returns the existing request for (table,key), if any.
+func (c *execCtx) heldReq(table int, key uint64) *lock.Request {
+	for _, r := range c.held {
+		if r.Table == table && r.Key == key {
+			return r
+		}
+	}
+	return nil
+}
+
+func (c *execCtx) acquire(table int, key uint64, mode txn.Mode) ([]byte, error) {
+	if r := c.heldReq(table, key); r != nil {
+		if r.Mode == txn.Read && mode == txn.Write {
+			// Lock upgrades are deadlock bait and unnecessary for the
+			// paper's workloads: writers must declare Write on first touch.
+			return nil, fmt.Errorf("twopl: unsupported read→write upgrade on t%d/%d", table, key)
+		}
+		return c.eng.cfg.DB.Table(table).Get(key), nil
+	}
+	start := time.Now()
+	r := c.fl.Get(c.t.ID, c.t.TS, c.thread)
+	waited, err := c.eng.table.Acquire(r, table, key, mode)
+	c.waited += waited
+	c.locked += time.Since(start) - waited
+	if err != nil {
+		c.fl.Put(r)
+		return nil, err
+	}
+	c.held = append(c.held, r)
+	return c.eng.cfg.DB.Table(table).Get(key), nil
+}
+
+// Read implements txn.Ctx.
+func (c *execCtx) Read(table int, key uint64) ([]byte, error) {
+	return c.acquire(table, key, txn.Read)
+}
+
+// Write implements txn.Ctx.
+func (c *execCtx) Write(table int, key uint64) ([]byte, error) {
+	rec, err := c.acquire(table, key, txn.Write)
+	if err != nil {
+		return nil, err
+	}
+	c.undo.Record(rec)
+	return rec, nil
+}
+
+// Insert implements txn.Ctx.
+func (c *execCtx) Insert(table int, key uint64, value []byte) error {
+	return engine.Insert(c.eng.cfg.DB, table, key, value)
+}
+
+func (c *execCtx) releaseAll() {
+	start := time.Now()
+	for i := len(c.held) - 1; i >= 0; i-- {
+		c.eng.table.Release(c.held[i])
+		c.fl.Put(c.held[i])
+	}
+	c.held = c.held[:0]
+	c.locked += time.Since(start)
+}
+
+func (c *execCtx) commit() {
+	c.undo.Reset()
+	c.releaseAll()
+}
+
+func (c *execCtx) abort() {
+	c.undo.Rollback()
+	c.releaseAll()
+}

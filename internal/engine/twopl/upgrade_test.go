@@ -1,0 +1,76 @@
+package twopl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/deadlock"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+type oneShotSource struct{ build func() *txn.Txn }
+
+func (s oneShotSource) Next(int, *rand.Rand) *txn.Txn { return s.build() }
+
+// Reacquiring a key already held in a sufficient mode reuses the request;
+// a read→write upgrade is refused with a diagnostic (documented
+// limitation: writers must declare Write on first touch).
+func TestHeldLockReuseAndUpgradeGuard(t *testing.T) {
+	db, tbl := newDB(8)
+	eng := New(Config{DB: db, Handler: deadlock.WaitDie{}, Threads: 1})
+	ctx := &execCtx{eng: eng, thread: 0}
+	tx := &txn.Txn{ID: 1, TS: 1}
+	ctx.begin(tx)
+
+	if _, err := ctx.Write(tbl, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Write-then-read and write-then-write reuse the held X lock.
+	if _, err := ctx.Read(tbl, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Write(tbl, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.held) != 1 {
+		t.Fatalf("held %d locks, want 1", len(ctx.held))
+	}
+	// Read-then-write upgrade is refused.
+	if _, err := ctx.Read(tbl, 5); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ctx.Write(tbl, 5)
+	if err == nil || !strings.Contains(err.Error(), "upgrade") {
+		t.Fatalf("upgrade err = %v", err)
+	}
+	ctx.commit()
+}
+
+// Undo restores exactly the pre-transaction image after a mid-logic abort.
+func TestAbortRollsBackPartialWrites(t *testing.T) {
+	db, tbl := newDB(8)
+	storage.PutU64(db.Table(tbl).Get(2), 0, 77)
+	eng := New(Config{DB: db, Handler: deadlock.WaitDie{}, Threads: 1, MaxRetries: 1})
+	src := oneShotSource{build: func() *txn.Txn {
+		tx := &txn.Txn{}
+		tx.Logic = func(ctx txn.Ctx) error {
+			rec, err := ctx.Write(tbl, 2)
+			if err != nil {
+				return err
+			}
+			storage.PutU64(rec, 0, 999)
+			return txn.ErrAborted // simulate a handler victimization mid-logic
+		}
+		return tx
+	}}
+	res := eng.Run(src, 30*time.Millisecond)
+	if res.Totals.Aborted == 0 {
+		t.Fatal("no aborts recorded")
+	}
+	if got := storage.GetU64(db.Table(tbl).Get(2), 0); got != 77 {
+		t.Fatalf("record = %d after aborts, want 77", got)
+	}
+}

@@ -1,0 +1,318 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/deadlock"
+	"repro/internal/engine"
+	"repro/internal/engine/dlfree"
+	"repro/internal/engine/twopl"
+	"repro/internal/orthrus"
+	"repro/internal/partstore"
+	"repro/internal/tpcc"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// paperCores is the machine-size axis used throughout the evaluation.
+var paperCores = []int{10, 20, 40, 60, 80}
+
+// fig1: scalability of short read-only transactions under 2PL on a
+// high-contention workload (hot set 64). The handler never fires — the
+// flattening comes purely from shared lock-table synchronization.
+func fig1(c Config) {
+	header(c, "Figure 1: 2PL read-only scalability, hot set = 64")
+	t := newTable(c, "threads", []string{"2pl"})
+	for _, n := range threadAxis(c, paperCores) {
+		db, tbl := newYCSBDB(c)
+		eng := twopl.New(twopl.Config{DB: db, Handler: deadlock.WaitDie{}, Threads: n})
+		src := &workload.YCSB{Table: tbl, NumRecords: c.Records, OpsPerTxn: 10,
+			ReadOnly: true, HotRecords: 64, HotOps: 2}
+		t.row(n, []float64{point(c, eng, src).Throughput()})
+	}
+}
+
+// fig4 hot-set axis (contention increases left to right in the paper; we
+// print decreasing hot-set size downward).
+var fig4HotSets = []uint64{8192, 4096, 2048, 1024, 512, 384, 256, 192, 128, 64}
+
+func fig4(c Config, threads int) {
+	systems := []string{"deadlock-free", "dreadlocks", "waitdie", "waitfor"}
+	t := newTable(c, "hot_records", systems)
+	for _, hot := range fig4HotSets {
+		if hot > c.Records {
+			continue
+		}
+		tps := make([]float64, 0, len(systems))
+		build := []func() (engine.Engine, *workload.YCSB){
+			func() (engine.Engine, *workload.YCSB) {
+				db, tbl := newYCSBDB(c)
+				return dlfree.New(dlfree.Config{DB: db, Threads: threads}), fig4Src(c, tbl, hot)
+			},
+			func() (engine.Engine, *workload.YCSB) {
+				db, tbl := newYCSBDB(c)
+				return twopl.New(twopl.Config{DB: db, Handler: deadlock.NewDreadlocks(threads), Threads: threads}), fig4Src(c, tbl, hot)
+			},
+			func() (engine.Engine, *workload.YCSB) {
+				db, tbl := newYCSBDB(c)
+				return twopl.New(twopl.Config{DB: db, Handler: deadlock.WaitDie{}, Threads: threads}), fig4Src(c, tbl, hot)
+			},
+			func() (engine.Engine, *workload.YCSB) {
+				db, tbl := newYCSBDB(c)
+				return twopl.New(twopl.Config{DB: db, Handler: deadlock.NewWaitForGraph(threads), Threads: threads}), fig4Src(c, tbl, hot)
+			},
+		}
+		for _, b := range build {
+			eng, src := b()
+			tps = append(tps, point(c, eng, src).Throughput())
+		}
+		t.row(hot, tps)
+	}
+}
+
+func fig4Src(c Config, tbl int, hot uint64) *workload.YCSB {
+	return &workload.YCSB{Table: tbl, NumRecords: c.Records, OpsPerTxn: 10,
+		HotRecords: hot, HotOps: 2}
+}
+
+func fig4a(c Config) {
+	n := 10
+	if n > c.MaxThreads {
+		n = c.MaxThreads
+	}
+	header(c, fmt.Sprintf("Figure 4(a): deadlock handling vs hot-set size, %d threads", n))
+	fig4(c, n)
+}
+
+func fig4b(c Config) {
+	n := 80
+	if n > c.MaxThreads {
+		n = c.MaxThreads
+	}
+	header(c, fmt.Sprintf("Figure 4(b): deadlock handling vs hot-set size, %d threads", n))
+	fig4(c, n)
+}
+
+// fig5: ORTHRUS thread-allocation trade-off. Uniform 10RMW transactions,
+// each confined to a single CC thread's partition (§4.2).
+func fig5(c Config) {
+	header(c, "Figure 5: ORTHRUS execution-thread scalability per CC allocation")
+	ccCounts := []int{4, 8, 16}
+	execAxis := threadAxis(c, []int{4, 8, 16, 24, 32, 48, 64})
+	cols := make([]string, len(ccCounts))
+	for i, cc := range ccCounts {
+		cols[i] = fmt.Sprintf("%dcc", cc)
+	}
+	t := newTable(c, "exec_threads", cols)
+	for _, ex := range execAxis {
+		tps := make([]float64, 0, len(ccCounts))
+		for _, cc := range ccCounts {
+			db, tbl := newYCSBDB(c)
+			eng := orthrus.New(orthrus.Config{DB: db, CCThreads: cc, ExecThreads: ex})
+			src := &workload.YCSB{Table: tbl, NumRecords: c.Records, OpsPerTxn: 10,
+				Partitions: cc, Spread: 1, MultiPartitionPct: 100}
+			tps = append(tps, point(c, eng, src).Throughput())
+		}
+		t.row(ex, tps)
+	}
+}
+
+// fig6Partitions is the common partition universe for the multi-partition
+// experiments: Partitioned-store runs one worker per partition, ORTHRUS
+// partitions its lock space identically.
+const fig6Partitions = 16
+
+func fig6(c Config) {
+	total := c.MaxThreads
+	header(c, fmt.Sprintf("Figure 6: partitions accessed per transaction (%d partitions, %d threads)", fig6Partitions, total))
+	names := []string{"partstore", "split-orthrus", "split-dlfree", "orthrus", "dlfree"}
+	t := newTable(c, "parts_per_txn", names)
+	for _, spread := range []int{1, 2, 4, 6, 8, 10} {
+		tps := make([]float64, 0, len(names))
+		for _, sys := range names {
+			db, tbl := newYCSBDB(c)
+			src := &workload.YCSB{Table: tbl, NumRecords: c.Records, OpsPerTxn: 10,
+				Partitions: fig6Partitions, Spread: spread, MultiPartitionPct: 100}
+			var eng engine.Engine
+			switch sys {
+			case "partstore":
+				eng = partstore.New(partstore.Config{DB: db, Partitions: fig6Partitions,
+					Threads: fig6Partitions, Partition: txn.HashPartitioner(fig6Partitions)})
+			case "split-orthrus", "orthrus":
+				eng = orthrus.New(orthrus.Config{DB: db, CCThreads: fig6Partitions,
+					ExecThreads: max(1, total-fig6Partitions), Split: sys == "split-orthrus"})
+			case "split-dlfree", "dlfree":
+				eng = dlfree.New(dlfree.Config{DB: db, Threads: total, Split: sys == "split-dlfree"})
+			}
+			tps = append(tps, point(c, eng, src).Throughput())
+		}
+		t.row(spread, tps)
+	}
+}
+
+// fig7: mixed single-/two-partition workloads.
+func fig7(c Config) {
+	total := c.MaxThreads
+	header(c, fmt.Sprintf("Figure 7: %% multi-partition transactions (%d partitions, %d threads)", fig6Partitions, total))
+	names := []string{"partstore", "split-orthrus", "split-dlfree", "orthrus", "dlfree"}
+	t := newTable(c, "mp_pct", names)
+	for _, pct := range []int{0, 20, 40, 60, 80, 100} {
+		tps := make([]float64, 0, len(names))
+		for _, sys := range names {
+			db, tbl := newYCSBDB(c)
+			src := &workload.YCSB{Table: tbl, NumRecords: c.Records, OpsPerTxn: 10,
+				Partitions: fig6Partitions, Spread: 2, MultiPartitionPct: pct}
+			var eng engine.Engine
+			switch sys {
+			case "partstore":
+				eng = partstore.New(partstore.Config{DB: db, Partitions: fig6Partitions,
+					Threads: fig6Partitions, Partition: txn.HashPartitioner(fig6Partitions)})
+			case "split-orthrus", "orthrus":
+				eng = orthrus.New(orthrus.Config{DB: db, CCThreads: fig6Partitions,
+					ExecThreads: max(1, total-fig6Partitions), Split: sys == "split-orthrus"})
+			case "split-dlfree", "dlfree":
+				eng = dlfree.New(dlfree.Config{DB: db, Threads: total, Split: sys == "split-dlfree"})
+			}
+			tps = append(tps, point(c, eng, src).Throughput())
+		}
+		t.row(pct, tps)
+	}
+}
+
+// --- TPC-C experiments -----------------------------------------------------
+
+func tpccSchema(c Config, warehouses int) *tpcc.Schema {
+	s, err := tpcc.Load(tpcc.Config{Warehouses: warehouses,
+		Items: c.TPCCItems, CustomersPerDistrict: c.TPCCCustomers})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// tpccEngines builds the §4.4 system lineup for a given thread budget.
+func tpccEngines(c Config, s *tpcc.Schema, threads int) (names []string, engines []engine.Engine) {
+	cc, exec := ccSplit(threads)
+	if cc > 16 {
+		cc = 16 // paper: 16 CC threads at 80 cores
+		exec = threads - cc
+	}
+	names = []string{"orthrus", "dlfree", "2pl-dreadlocks"}
+	engines = []engine.Engine{
+		orthrus.New(orthrus.Config{DB: s.DB, CCThreads: cc, ExecThreads: exec,
+			Partition: s.PartitionByWarehouse(cc)}),
+		dlfree.New(dlfree.Config{DB: s.DB, Threads: threads}),
+		twopl.New(twopl.Config{DB: s.DB, Handler: deadlock.NewDreadlocks(threads), Threads: threads}),
+	}
+	return
+}
+
+// fig8: TPC-C throughput vs warehouse count at the full thread budget.
+func fig8(c Config) {
+	total := c.MaxThreads
+	header(c, fmt.Sprintf("Figure 8: TPC-C NewOrder+Payment vs warehouses, %d threads", total))
+	t := newTable(c, "warehouses", []string{"orthrus", "dlfree", "2pl-dreadlocks"})
+	for _, w := range []int{4, 8, 16, 32, 64, 96, 128} {
+		tps := make([]float64, 0, 3)
+		for i := 0; i < 3; i++ {
+			s := tpccSchema(c, w)
+			_, engines := tpccEngines(c, s, total)
+			src := &tpcc.Mix{S: s}
+			tps = append(tps, point(c, engines[i], src).Throughput())
+		}
+		t.row(w, tps)
+	}
+}
+
+// fig9: TPC-C scalability at 16 warehouses.
+func fig9(c Config) {
+	header(c, "Figure 9: TPC-C scalability, 16 warehouses")
+	t := newTable(c, "threads", []string{"orthrus", "dlfree", "2pl-dreadlocks"})
+	for _, n := range threadAxis(c, paperCores) {
+		tps := make([]float64, 0, 3)
+		for i := 0; i < 3; i++ {
+			s := tpccSchema(c, 16)
+			_, engines := tpccEngines(c, s, n)
+			src := &tpcc.Mix{S: s}
+			tps = append(tps, point(c, engines[i], src).Throughput())
+		}
+		t.row(n, tps)
+	}
+}
+
+// fig10: execution-thread CPU time breakdown, low (128 warehouses) and
+// high (16 warehouses) contention.
+func fig10(c Config) {
+	total := c.MaxThreads
+	for _, cfg := range []struct {
+		label string
+		w     int
+	}{
+		{"low contention (128 warehouses)", 128},
+		{"high contention (16 warehouses)", 16},
+	} {
+		header(c, fmt.Sprintf("Figure 10: CPU time breakdown, %s, %d threads", cfg.label, total))
+		fmt.Fprintf(c.Out, "%-18s %8s %8s %8s\n", "system", "exec%", "lock%", "wait%")
+		for i := 0; i < 3; i++ {
+			s := tpccSchema(c, cfg.w)
+			names, engines := tpccEngines(c, s, total)
+			res := point(c, engines[i], &tpcc.Mix{S: s})
+			e, l, w := res.Totals.Breakdown()
+			fmt.Fprintf(c.Out, "%-18s %8.1f %8.1f %8.1f\n", names[i], e, l, w)
+		}
+	}
+}
+
+// --- YCSB appendix experiments ----------------------------------------------
+
+// fig11and12 runs the Appendix A scalability matrix.
+func fig11and12(c Config, readOnly bool, hot uint64, title string) {
+	header(c, title)
+	names := []string{"orthrus-single", "orthrus-dual", "orthrus-random", "dlfree", "2pl-waitdie"}
+	t := newTable(c, "threads", names)
+	for _, n := range threadAxis(c, paperCores) {
+		cc, exec := ccSplit(n)
+		tps := make([]float64, 0, len(names))
+		for _, sys := range names {
+			db, tbl := newYCSBDB(c)
+			src := &workload.YCSB{Table: tbl, NumRecords: c.Records, OpsPerTxn: 10,
+				ReadOnly: readOnly, HotRecords: hot, HotOps: 2}
+			if hot == 0 {
+				src.HotOps = 0
+			}
+			var eng engine.Engine
+			switch sys {
+			case "orthrus-single":
+				src.Partitions, src.Spread, src.MultiPartitionPct = cc, 1, 100
+				eng = orthrus.New(orthrus.Config{DB: db, CCThreads: cc, ExecThreads: exec})
+			case "orthrus-dual":
+				src.Partitions, src.Spread, src.MultiPartitionPct = cc, min(2, cc), 100
+				eng = orthrus.New(orthrus.Config{DB: db, CCThreads: cc, ExecThreads: exec})
+			case "orthrus-random":
+				eng = orthrus.New(orthrus.Config{DB: db, CCThreads: cc, ExecThreads: exec})
+			case "dlfree":
+				eng = dlfree.New(dlfree.Config{DB: db, Threads: n})
+			case "2pl-waitdie":
+				eng = twopl.New(twopl.Config{DB: db, Handler: deadlock.WaitDie{}, Threads: n})
+			}
+			tps = append(tps, point(c, eng, src).Throughput())
+		}
+		t.row(n, tps)
+	}
+}
+
+func fig11a(c Config) {
+	fig11and12(c, true, 0, "Figure 11(a): YCSB read-only scalability, low contention")
+}
+
+func fig11b(c Config) {
+	fig11and12(c, true, 64, "Figure 11(b): YCSB read-only scalability, high contention (hot=64)")
+}
+
+func fig12a(c Config) {
+	fig11and12(c, false, 0, "Figure 12(a): YCSB 10RMW scalability, low contention")
+}
+
+func fig12b(c Config) {
+	fig11and12(c, false, 64, "Figure 12(b): YCSB 10RMW scalability, high contention (hot=64)")
+}

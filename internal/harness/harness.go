@@ -1,0 +1,174 @@
+// Package harness regenerates every table and figure in the paper's
+// evaluation (§4 and Appendix A). Each experiment prints the same series
+// the paper plots — throughput (or a time breakdown) per system along the
+// figure's x-axis — so paper-vs-measured comparisons drop out directly
+// (EXPERIMENTS.md records them).
+//
+// Scale note: axis values named "CPU cores" in the paper are logical
+// worker-thread counts here (see DESIGN.md §3), and the default table
+// size is scaled down from the paper's 10M×1KB records; both are
+// configurable.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Config are the knobs shared by all experiments.
+type Config struct {
+	// Duration is the measured run length per data point.
+	Duration time.Duration
+	// Records and RecordSize shape the YCSB table (paper: 10M × 1000 B).
+	Records    uint64
+	RecordSize int
+	// MaxThreads caps the paper's thread-count axes (paper machine: 80).
+	MaxThreads int
+	// TPCCItems / TPCCCustomers scale TPC-C (see internal/tpcc docs).
+	TPCCItems     int
+	TPCCCustomers int
+	// Out receives the printed tables.
+	Out io.Writer
+}
+
+// Defaults fills zero fields with laptop-scale values.
+func (c Config) Defaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 300 * time.Millisecond
+	}
+	if c.Records == 0 {
+		c.Records = 100_000
+	}
+	if c.RecordSize == 0 {
+		c.RecordSize = 100
+	}
+	if c.MaxThreads == 0 {
+		c.MaxThreads = 80
+	}
+	if c.TPCCItems == 0 {
+		c.TPCCItems = 1000
+	}
+	if c.TPCCCustomers == 0 {
+		c.TPCCCustomers = 100
+	}
+	if c.Out == nil {
+		panic("harness: Config.Out must be set")
+	}
+	return c
+}
+
+// Experiment regenerates one paper figure.
+type Experiment struct {
+	ID          string
+	Figure      string
+	Description string
+	Run         func(c Config)
+}
+
+// Registry returns all experiments in figure order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", "Figure 1", "2PL read-only scalability under high contention", fig1},
+		{"fig4a", "Figure 4(a)", "deadlock-handler throughput vs hot-set size, 10 threads", fig4a},
+		{"fig4b", "Figure 4(b)", "deadlock-handler throughput vs hot-set size, 80 threads", fig4b},
+		{"fig5", "Figure 5", "ORTHRUS execution-thread scalability per CC allocation", fig5},
+		{"fig6", "Figure 6", "throughput vs partitions accessed per transaction", fig6},
+		{"fig7", "Figure 7", "throughput vs percentage of multi-partition transactions", fig7},
+		{"fig8", "Figure 8", "TPC-C throughput vs warehouse count", fig8},
+		{"fig9", "Figure 9", "TPC-C scalability at 16 warehouses", fig9},
+		{"fig10", "Figure 10", "execution-thread CPU time breakdown on TPC-C", fig10},
+		{"fig11a", "Figure 11(a)", "YCSB read-only scalability, low contention", fig11a},
+		{"fig11b", "Figure 11(b)", "YCSB read-only scalability, high contention", fig11b},
+		{"fig12a", "Figure 12(a)", "YCSB 10RMW scalability, low contention", fig12a},
+		{"fig12b", "Figure 12(b)", "YCSB 10RMW scalability, high contention", fig12b},
+	}
+}
+
+// Get returns the experiment with the given id, or false.
+func Get(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared helpers -------------------------------------------------------
+
+// newYCSBDB builds a fresh single-table database.
+func newYCSBDB(c Config) (*storage.DB, int) {
+	db := storage.NewDB()
+	tbl := db.Create(storage.Layout{Name: "ycsb", NumRecords: c.Records, RecordSize: c.RecordSize})
+	return db, tbl
+}
+
+// threadAxis filters the paper's core-count axis by MaxThreads, always
+// keeping at least the smallest value.
+func threadAxis(c Config, paper []int) []int {
+	out := make([]int, 0, len(paper))
+	for _, v := range paper {
+		if v <= c.MaxThreads {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, paper[0])
+	}
+	return out
+}
+
+// point runs one engine on one workload for the configured duration and
+// returns the result.
+func point(c Config, eng engine.Engine, src workload.Source) metrics.Result {
+	return eng.Run(src, c.Duration)
+}
+
+// table streams a formatted series table.
+type table struct {
+	w    io.Writer
+	cols []string
+}
+
+func newTable(c Config, xlabel string, systems []string) *table {
+	t := &table{w: c.Out, cols: systems}
+	fmt.Fprintf(t.w, "%-14s", xlabel)
+	for _, s := range systems {
+		fmt.Fprintf(t.w, " %16s", s)
+	}
+	fmt.Fprintln(t.w)
+	return t
+}
+
+func (t *table) row(x interface{}, tps []float64) {
+	fmt.Fprintf(t.w, "%-14v", x)
+	for _, v := range tps {
+		fmt.Fprintf(t.w, " %16.0f", v)
+	}
+	fmt.Fprintln(t.w)
+}
+
+func header(c Config, e string) {
+	fmt.Fprintf(c.Out, "\n# %s\n", e)
+}
+
+// ccSplit apportions t total threads between CC and execution the way the
+// paper configures ORTHRUS (§4.4.3: 16 CC + 64 exec at 80 threads, i.e.
+// one fifth CC), with a floor of one thread per role.
+func ccSplit(t int) (cc, exec int) {
+	cc = t / 5
+	if cc < 1 {
+		cc = 1
+	}
+	exec = t - cc
+	if exec < 1 {
+		exec = 1
+	}
+	return cc, exec
+}

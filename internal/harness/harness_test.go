@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{
+		Duration:      15 * time.Millisecond,
+		Records:       4096,
+		RecordSize:    64,
+		MaxThreads:    4,
+		TPCCItems:     100,
+		TPCCCustomers: 20,
+		Out:           buf,
+	}.Defaults()
+}
+
+func TestRegistryCoversEveryFigure(t *testing.T) {
+	want := []string{"fig1", "fig4a", "fig4b", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12a", "fig12b"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if reg[i].Run == nil || reg[i].Figure == "" || reg[i].Description == "" {
+			t.Errorf("experiment %s incomplete", id)
+		}
+	}
+	if _, ok := Get("fig8"); !ok {
+		t.Fatal("Get(fig8) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("Get(nope) succeeded")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	c := Config{Out: &buf}.Defaults()
+	if c.Duration <= 0 || c.Records == 0 || c.RecordSize == 0 || c.MaxThreads == 0 {
+		t.Fatalf("defaults missing: %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Defaults accepted nil Out")
+		}
+	}()
+	Config{}.Defaults()
+}
+
+func TestThreadAxisCapping(t *testing.T) {
+	var buf bytes.Buffer
+	c := tinyConfig(&buf)
+	got := threadAxis(c, []int{10, 20, 40, 60, 80})
+	if len(got) != 1 || got[0] != 10 {
+		t.Fatalf("threadAxis = %v (MaxThreads=4 keeps smallest only)", got)
+	}
+	c.MaxThreads = 40
+	got = threadAxis(c, []int{10, 20, 40, 60, 80})
+	if len(got) != 3 || got[2] != 40 {
+		t.Fatalf("threadAxis = %v", got)
+	}
+}
+
+func TestCCSplit(t *testing.T) {
+	cases := []struct{ in, cc, exec int }{
+		{80, 16, 64},
+		{10, 2, 8},
+		{4, 1, 3},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		cc, exec := ccSplit(c.in)
+		if cc != c.cc || exec != c.exec {
+			t.Errorf("ccSplit(%d) = (%d,%d), want (%d,%d)", c.in, cc, exec, c.cc, c.exec)
+		}
+	}
+}
+
+// Smoke: every registered experiment runs end to end at tiny scale and
+// produces a non-empty, numeric table.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every engine; skipped in -short")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			c := tinyConfig(&buf)
+			e.Run(c)
+			out := buf.String()
+			if !strings.Contains(out, "#") {
+				t.Fatalf("no header in output:\n%s", out)
+			}
+			lines := strings.Split(strings.TrimSpace(out), "\n")
+			if len(lines) < 3 {
+				t.Fatalf("too little output:\n%s", out)
+			}
+		})
+	}
+}

@@ -1,0 +1,411 @@
+// Package lock implements the shared-memory lock manager used by the
+// conventional baselines (2PL with dynamic deadlock handling, and
+// Deadlock-free ordered locking). It follows the paper's description of
+// its 2PL implementation (§4):
+//
+//   - a hash table of lock-request queues keyed by record;
+//   - per-bucket latches ("per-bucket latches instead of a single latch to
+//     protect the entire table");
+//   - no intention locks — only fine-grained record locks in shared (S) or
+//     exclusive (X) mode;
+//   - request structures recycled through per-thread freelists so the hot
+//     path never calls the memory allocator.
+//
+// Requests queue FIFO per record. A request is granted when every request
+// ahead of it is compatible; on release the longest compatible prefix is
+// granted. Strict FIFO means readers do not overtake waiting writers, so
+// writers cannot starve.
+//
+// Deadlock policy is delegated to a Handler: when a request conflicts, the
+// handler decides whether it may wait or must die, and supplies the wait
+// mechanics (block on a channel for wait-die/wait-for-graph, spin on
+// digests for Dreadlocks). The Block handler never aborts and is safe only
+// under ordered acquisition (the Deadlock-free engine and ORTHRUS).
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// Request state values.
+const (
+	stateWaiting int32 = iota
+	stateGranted
+)
+
+// Request is one transaction's request for one record lock. Requests are
+// owned by the requesting thread and recycled via Freelist.
+type Request struct {
+	TxnID  uint64
+	TS     uint64 // wait-die timestamp (assigned once; survives restarts)
+	Thread int    // requesting worker thread id
+	Table  int
+	Key    uint64
+	Mode   txn.Mode
+
+	state atomic.Int32
+	ready chan struct{} // capacity 1; a token is sent on grant
+
+	prev, next *Request // intrusive queue links, guarded by bucket latch
+}
+
+// Granted reports whether the request has been granted.
+func (r *Request) Granted() bool { return r.state.Load() == stateGranted }
+
+// Ready exposes the grant channel for handlers that need to select on it
+// alongside timers (wait-for graph's periodic recheck).
+func (r *Request) Ready() <-chan struct{} { return r.ready }
+
+// AwaitToken blocks until the grant token arrives.
+func (r *Request) AwaitToken() { <-r.ready }
+
+// DrainToken consumes a grant token that is known to have been sent.
+func (r *Request) DrainToken() { <-r.ready }
+
+// Decision is a Handler's verdict on a conflicting request.
+type Decision int
+
+// Handler verdicts.
+const (
+	Wait Decision = iota
+	Die
+)
+
+// Handler plugs a deadlock policy into the table.
+type Handler interface {
+	// Name identifies the policy in harness output.
+	Name() string
+	// OnConflict is called with the bucket latch held when req conflicts
+	// with the requests ahead of it in the queue. Returning Die rejects
+	// the acquisition before req is enqueued.
+	OnConflict(req *Request, ahead []*Request) Decision
+	// Wait blocks until req is granted or the policy decides req must
+	// abort. It is called without the bucket latch. Returning false means
+	// the handler wants req aborted; the table then cancels the request
+	// (unless a concurrent grant won the race).
+	Wait(t *Table, req *Request) bool
+	// OnGranted is called (without latches) after req is granted, so the
+	// handler can clear wait-tracking state.
+	OnGranted(req *Request)
+	// OnAborted is called (without latches) after req was cancelled.
+	OnAborted(req *Request)
+}
+
+// PreAcquirer is an optional Handler extension: PreAcquire runs at the
+// top of every Acquire, before the bucket latch is taken. Policies that
+// abort transactions from *other* threads (wound-wait) use it as the
+// victim's poison check — a wounded transaction discovers its fate at its
+// next lock request.
+type PreAcquirer interface {
+	// PreAcquire returns false when req's transaction has been chosen as
+	// a victim and must abort instead of acquiring.
+	PreAcquire(req *Request) bool
+}
+
+// lockKey identifies a record across tables.
+type lockKey struct {
+	table int
+	key   uint64
+}
+
+// entry is one record's request queue.
+type entry struct {
+	head, tail *Request
+	waiters    int // requests not yet granted
+}
+
+type bucket struct {
+	mu      sync.Mutex
+	entries map[lockKey]*entry
+	// entryPool recycles entry structs for this bucket.
+	entryPool []*entry
+	_         [24]byte // pad to reduce adjacent-bucket false sharing
+}
+
+// Table is the shared lock table.
+type Table struct {
+	buckets []bucket
+	mask    uint64
+	handler Handler
+}
+
+// NewTable returns a table with the given bucket count (rounded up to a
+// power of two) and deadlock policy.
+func NewTable(buckets int, h Handler) *Table {
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	t := &Table{buckets: make([]bucket, n), mask: uint64(n - 1), handler: h}
+	for i := range t.buckets {
+		t.buckets[i].entries = make(map[lockKey]*entry)
+	}
+	return t
+}
+
+// Handler returns the table's deadlock policy.
+func (t *Table) Handler() Handler { return t.handler }
+
+// Buckets returns the bucket count.
+func (t *Table) Buckets() int { return len(t.buckets) }
+
+func (t *Table) bucketFor(k lockKey) *bucket {
+	h := k.key*0x9E3779B97F4A7C15 + uint64(k.table)*0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return &t.buckets[h&t.mask]
+}
+
+// Acquire requests the (table,key) lock in mode for req's transaction.
+// It blocks according to the handler's policy and returns the time spent
+// waiting (for the execute/lock/wait breakdown) and txn.ErrAborted if the
+// policy chose this transaction as a victim.
+//
+// The fields TxnID, TS, Thread and Mode of req must be set; Table/Key are
+// filled in here.
+func (t *Table) Acquire(req *Request, table int, key uint64, mode txn.Mode) (waited time.Duration, err error) {
+	req.Table, req.Key, req.Mode = table, key, mode
+	req.state.Store(stateWaiting)
+
+	if pa, ok := t.handler.(PreAcquirer); ok && !pa.PreAcquire(req) {
+		t.handler.OnAborted(req)
+		return 0, txn.ErrAborted
+	}
+
+	k := lockKey{table, key}
+	b := t.bucketFor(k)
+	b.mu.Lock()
+	e := b.entries[k]
+	if e == nil {
+		e = b.getEntry()
+		b.entries[k] = e
+	}
+
+	conflict := e.conflictsAhead(req.Mode, nil)
+	if conflict == nil {
+		req.state.Store(stateGranted)
+		e.push(req)
+		b.mu.Unlock()
+		return 0, nil
+	}
+
+	if t.handler.OnConflict(req, conflict) == Die {
+		if e.head == nil {
+			b.putEntry(k, e)
+		}
+		b.mu.Unlock()
+		t.handler.OnAborted(req)
+		return 0, txn.ErrAborted
+	}
+
+	e.push(req)
+	e.waiters++
+	b.mu.Unlock()
+
+	start := time.Now()
+	ok := t.handler.Wait(t, req)
+	waited = time.Since(start)
+	if ok {
+		t.handler.OnGranted(req)
+		return waited, nil
+	}
+	// Handler wants an abort; cancel unless a concurrent grant won.
+	if t.cancel(req) {
+		t.handler.OnAborted(req)
+		return waited, txn.ErrAborted
+	}
+	t.handler.OnGranted(req)
+	return waited, nil
+}
+
+// Release drops req's lock and grants newly compatible requests.
+// req must have been granted.
+func (t *Table) Release(req *Request) {
+	k := lockKey{req.Table, req.Key}
+	b := t.bucketFor(k)
+	b.mu.Lock()
+	e := b.entries[k]
+	e.remove(req)
+	e.grantPrefix()
+	if e.head == nil {
+		b.putEntry(k, e)
+	}
+	b.mu.Unlock()
+}
+
+// cancel removes a waiting request. It returns false when the request was
+// granted before the latch was taken (the caller then owns a granted lock
+// and a pending token).
+func (t *Table) cancel(req *Request) bool {
+	k := lockKey{req.Table, req.Key}
+	b := t.bucketFor(k)
+	b.mu.Lock()
+	if req.Granted() {
+		b.mu.Unlock()
+		req.DrainToken()
+		return false
+	}
+	e := b.entries[k]
+	e.remove(req)
+	e.waiters--
+	// Removing a waiter can unblock requests queued behind it.
+	e.grantPrefix()
+	if e.head == nil {
+		b.putEntry(k, e)
+	}
+	b.mu.Unlock()
+	return true
+}
+
+// Blockers returns the thread ids of requests ahead of req that conflict
+// with it, and whether req is still waiting. Dreadlocks polls this.
+func (t *Table) Blockers(req *Request, out []int) (blockers []int, waiting bool) {
+	if req.Granted() {
+		return out[:0], false
+	}
+	k := lockKey{req.Table, req.Key}
+	b := t.bucketFor(k)
+	b.mu.Lock()
+	if req.Granted() {
+		b.mu.Unlock()
+		return out[:0], false
+	}
+	out = out[:0]
+	e := b.entries[k]
+	if e == nil {
+		// The request is not enqueued under this key (caller raced with
+		// its own Acquire); report "still waiting, no known blockers".
+		b.mu.Unlock()
+		return out, true
+	}
+	for cur := e.head; cur != nil && cur != req; cur = cur.next {
+		if cur.Mode.Conflicts(req.Mode) {
+			out = append(out, cur.Thread)
+		}
+	}
+	b.mu.Unlock()
+	return out, true
+}
+
+// --- entry operations (bucket latch held) -------------------------------
+
+func (b *bucket) getEntry() *entry {
+	if n := len(b.entryPool); n > 0 {
+		e := b.entryPool[n-1]
+		b.entryPool = b.entryPool[:n-1]
+		return e
+	}
+	return &entry{}
+}
+
+func (b *bucket) putEntry(k lockKey, e *entry) {
+	delete(b.entries, k)
+	e.head, e.tail, e.waiters = nil, nil, 0
+	if len(b.entryPool) < 32 {
+		b.entryPool = append(b.entryPool, e)
+	}
+}
+
+// conflictsAhead returns the requests that conflict with a new request of
+// the given mode under strict FIFO (nil when none, meaning immediate
+// grant). Appends into scratch to avoid allocation when provided.
+func (e *entry) conflictsAhead(mode txn.Mode, scratch []*Request) []*Request {
+	out := scratch[:0]
+	for cur := e.head; cur != nil; cur = cur.next {
+		// Any waiting request ahead blocks a conflicting newcomer; strict
+		// FIFO additionally blocks a newcomer behind any waiter it
+		// conflicts with even if current holders are compatible.
+		if cur.Mode.Conflicts(mode) {
+			out = append(out, cur)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func (e *entry) push(r *Request) {
+	r.prev, r.next = e.tail, nil
+	if e.tail != nil {
+		e.tail.next = r
+	} else {
+		e.head = r
+	}
+	e.tail = r
+}
+
+func (e *entry) remove(r *Request) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		e.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		e.tail = r.prev
+	}
+	r.prev, r.next = nil, nil
+}
+
+// grantPrefix grants the longest compatible prefix of waiting requests.
+func (e *entry) grantPrefix() {
+	if e.waiters == 0 {
+		return
+	}
+	var grantedWrite, grantedRead bool
+	for cur := e.head; cur != nil; cur = cur.next {
+		if cur.Granted() {
+			if cur.Mode == txn.Write {
+				grantedWrite = true
+			} else {
+				grantedRead = true
+			}
+			continue
+		}
+		if cur.Mode == txn.Write {
+			if grantedWrite || grantedRead {
+				return
+			}
+			grantedWrite = true
+		} else {
+			if grantedWrite {
+				return
+			}
+			grantedRead = true
+		}
+		cur.state.Store(stateGranted)
+		e.waiters--
+		cur.ready <- struct{}{}
+	}
+}
+
+// --- freelist ------------------------------------------------------------
+
+// Freelist recycles Requests for one worker thread.
+type Freelist struct {
+	free []*Request
+}
+
+// Get returns a fresh or recycled request with identity fields set.
+func (f *Freelist) Get(txnID, ts uint64, thread int) *Request {
+	var r *Request
+	if n := len(f.free); n > 0 {
+		r = f.free[n-1]
+		f.free = f.free[:n-1]
+	} else {
+		r = &Request{ready: make(chan struct{}, 1)}
+	}
+	r.TxnID, r.TS, r.Thread = txnID, ts, thread
+	return r
+}
+
+// Put recycles a request whose lock has been released or cancelled.
+func (f *Freelist) Put(r *Request) {
+	r.prev, r.next = nil, nil
+	f.free = append(f.free, r)
+}

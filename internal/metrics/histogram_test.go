@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(100 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 100*time.Microsecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 100*time.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	// Percentiles of a single sample are bounded by the sample itself
+	// (bucket upper edge clamped to max).
+	if p := h.Percentile(99); p != 100*time.Microsecond {
+		t.Fatalf("P99 = %v", p)
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	p50, p90, p99 := h.Percentile(50), h.Percentile(90), h.Percentile(99)
+	if p50 > p90 || p90 > p99 {
+		t.Fatalf("percentiles not monotone: %v %v %v", p50, p90, p99)
+	}
+	// The bucketed p50 upper bound must be within 2x of the true median.
+	if p50 < 500*time.Microsecond || p50 > 1024*time.Microsecond {
+		t.Fatalf("p50 = %v, want within (500µs, 1024µs]", p50)
+	}
+}
+
+func TestHistogramNonPositiveSample(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-time.Second)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 1 { // clamped to 1ns
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	b.Record(time.Microsecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if a.Max() != 3*time.Millisecond {
+		t.Fatalf("Max = %v", a.Max())
+	}
+	wantMean := (time.Millisecond + 3*time.Millisecond + time.Microsecond) / 3
+	if a.Mean() != wantMean {
+		t.Fatalf("Mean = %v, want %v", a.Mean(), wantMean)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	s := h.String()
+	if s == "" || h.Count() != 1 {
+		t.Fatal("String/Count broken")
+	}
+}
+
+// Properties: count equals samples recorded; max is an upper bound for
+// every percentile; mean lies between min sample floor and max.
+func TestHistogramProperties(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		var max time.Duration
+		for _, s := range samples {
+			d := time.Duration(s%1_000_000 + 1)
+			h.Record(d)
+			if d > max {
+				max = d
+			}
+		}
+		if h.Count() != uint64(len(samples)) {
+			return false
+		}
+		if h.Max() != max {
+			return false
+		}
+		for _, p := range []float64{1, 50, 90, 99, 100} {
+			if h.Percentile(p) > max {
+				return false
+			}
+		}
+		return h.Mean() <= max && h.Mean() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetMergesLatencies(t *testing.T) {
+	s := NewSet(2)
+	s.Thread(0).Latency.Record(time.Millisecond)
+	s.Thread(1).Latency.Record(2 * time.Millisecond)
+	tot := s.Totals()
+	if tot.Latency.Count() != 2 {
+		t.Fatalf("merged count = %d", tot.Latency.Count())
+	}
+	if tot.Latency.Max() != 2*time.Millisecond {
+		t.Fatalf("merged max = %v", tot.Latency.Max())
+	}
+}

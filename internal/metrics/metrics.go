@@ -1,0 +1,127 @@
+// Package metrics collects per-thread throughput counters and the
+// execute/lock/wait wall-time breakdown reported in the paper's Figure 10.
+//
+// Each worker thread owns one cache-line-padded ThreadStats slot and
+// updates it without synchronization; aggregation happens after the run.
+// The three-way time classification follows the paper:
+//
+//   - Execute: running transaction logic against storage.
+//   - Lock:    performing locking work (manipulating the lock table,
+//     running deadlock-handler logic, building/sending lock messages).
+//   - Wait:    blocked on a conflicting lock, or idle waiting for grants.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// ThreadStats is one worker thread's counters. Padded to its own cache
+// lines so concurrent updates from different threads never false-share.
+type ThreadStats struct {
+	Committed uint64
+	Aborted   uint64 // deadlock-handler aborts (each is later retried)
+	Misses    uint64 // OLLP estimate misses (subset of restarts)
+
+	ExecNanos int64
+	LockNanos int64
+	WaitNanos int64
+
+	// Latency records committed-transaction latency: first submission to
+	// commit, retries included.
+	Latency Histogram
+
+	_ [64]byte
+}
+
+// AddExec accrues execution time.
+func (s *ThreadStats) AddExec(d time.Duration) { s.ExecNanos += int64(d) }
+
+// AddLock accrues locking time.
+func (s *ThreadStats) AddLock(d time.Duration) { s.LockNanos += int64(d) }
+
+// AddWait accrues waiting time.
+func (s *ThreadStats) AddWait(d time.Duration) { s.WaitNanos += int64(d) }
+
+// Set is a fixed group of per-thread slots.
+type Set struct {
+	threads []ThreadStats
+}
+
+// NewSet returns a Set with n thread slots.
+func NewSet(n int) *Set { return &Set{threads: make([]ThreadStats, n)} }
+
+// Thread returns thread i's slot.
+func (s *Set) Thread(i int) *ThreadStats { return &s.threads[i] }
+
+// Threads returns the slot count.
+func (s *Set) Threads() int { return len(s.threads) }
+
+// Totals aggregates all slots.
+func (s *Set) Totals() Totals {
+	var t Totals
+	for i := range s.threads {
+		th := &s.threads[i]
+		t.Committed += th.Committed
+		t.Aborted += th.Aborted
+		t.Misses += th.Misses
+		t.Exec += time.Duration(th.ExecNanos)
+		t.Lock += time.Duration(th.LockNanos)
+		t.Wait += time.Duration(th.WaitNanos)
+		t.Latency.Merge(&th.Latency)
+	}
+	return t
+}
+
+// Totals is an aggregate over threads.
+type Totals struct {
+	Committed uint64
+	Aborted   uint64
+	Misses    uint64
+	Exec      time.Duration
+	Lock      time.Duration
+	Wait      time.Duration
+	Latency   Histogram
+}
+
+// Breakdown returns the execute/lock/wait percentages of accounted time.
+// All zeros when nothing was recorded.
+func (t Totals) Breakdown() (execPct, lockPct, waitPct float64) {
+	total := t.Exec + t.Lock + t.Wait
+	if total <= 0 {
+		return 0, 0, 0
+	}
+	f := 100 / float64(total)
+	return float64(t.Exec) * f, float64(t.Lock) * f, float64(t.Wait) * f
+}
+
+// AbortRate returns aborts per commit attempt.
+func (t Totals) AbortRate() float64 {
+	att := t.Committed + t.Aborted
+	if att == 0 {
+		return 0
+	}
+	return float64(t.Aborted) / float64(att)
+}
+
+// Result is the outcome of one timed engine run.
+type Result struct {
+	System   string
+	Totals   Totals
+	Duration time.Duration
+}
+
+// Throughput returns committed transactions per second.
+func (r Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Totals.Committed) / r.Duration.Seconds()
+}
+
+// String implements fmt.Stringer with the harness's standard row format.
+func (r Result) String() string {
+	e, l, w := r.Totals.Breakdown()
+	return fmt.Sprintf("%-22s %12.0f txns/s  commits=%-9d aborts=%-7d exec=%4.1f%% lock=%4.1f%% wait=%4.1f%%",
+		r.System, r.Throughput(), r.Totals.Committed, r.Totals.Aborted, e, l, w)
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTotalsAggregation(t *testing.T) {
+	s := NewSet(3)
+	for i := 0; i < 3; i++ {
+		th := s.Thread(i)
+		th.Committed = uint64(i + 1)
+		th.Aborted = uint64(i)
+		th.AddExec(time.Duration(i+1) * time.Millisecond)
+		th.AddLock(2 * time.Millisecond)
+		th.AddWait(time.Millisecond)
+	}
+	tot := s.Totals()
+	if tot.Committed != 6 || tot.Aborted != 3 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	if tot.Exec != 6*time.Millisecond || tot.Lock != 6*time.Millisecond || tot.Wait != 3*time.Millisecond {
+		t.Fatalf("time totals = %+v", tot)
+	}
+}
+
+func TestBreakdownPercentages(t *testing.T) {
+	tot := Totals{Exec: 20, Lock: 30, Wait: 50}
+	e, l, w := tot.Breakdown()
+	if math.Abs(e-20) > 1e-9 || math.Abs(l-30) > 1e-9 || math.Abs(w-50) > 1e-9 {
+		t.Fatalf("breakdown = %v %v %v", e, l, w)
+	}
+	if math.Abs(e+l+w-100) > 1e-9 {
+		t.Fatal("percentages do not sum to 100")
+	}
+	e, l, w = Totals{}.Breakdown()
+	if e != 0 || l != 0 || w != 0 {
+		t.Fatal("empty totals breakdown not zero")
+	}
+}
+
+func TestAbortRate(t *testing.T) {
+	if r := (Totals{Committed: 3, Aborted: 1}).AbortRate(); math.Abs(r-0.25) > 1e-9 {
+		t.Fatalf("AbortRate = %v", r)
+	}
+	if (Totals{}).AbortRate() != 0 {
+		t.Fatal("empty AbortRate != 0")
+	}
+}
+
+func TestResultThroughputAndString(t *testing.T) {
+	r := Result{System: "orthrus", Totals: Totals{Committed: 1000}, Duration: 2 * time.Second}
+	if r.Throughput() != 500 {
+		t.Fatalf("Throughput = %v", r.Throughput())
+	}
+	if (Result{}).Throughput() != 0 {
+		t.Fatal("zero-duration throughput not 0")
+	}
+	s := r.String()
+	if !strings.Contains(s, "orthrus") || !strings.Contains(s, "txns/s") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Concurrent per-thread updates must not race (validated by -race in CI)
+// and must aggregate exactly.
+func TestPerThreadIsolation(t *testing.T) {
+	const threads, per = 8, 10000
+	s := NewSet(threads)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			th := s.Thread(i)
+			for j := 0; j < per; j++ {
+				th.Committed++
+				th.AddExec(time.Nanosecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	tot := s.Totals()
+	if tot.Committed != threads*per {
+		t.Fatalf("Committed = %d", tot.Committed)
+	}
+	if tot.Exec != threads*per {
+		t.Fatalf("Exec = %d", tot.Exec)
+	}
+}

@@ -1,0 +1,70 @@
+package orthrus
+
+import (
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// Autotune picks the CC/exec thread split for a fixed total thread budget
+// by probing candidate allocations against the actual workload — the
+// paper's §4.2 observation operationalized: "too few execution threads
+// causes under-utilization of concurrency control threads, and
+// vice-versa", and SEDA-style systems can allocate threads from measured
+// load. This implementation probes statically before the run (a dynamic
+// in-flight reallocator would need thread migration, which Go's scheduler
+// does not expose); each probe runs the workload for probe duration on a
+// freshly configured engine and the best-throughput split wins.
+//
+// The probes run against db, mutating it exactly as a real run would, so
+// callers should autotune on a scratch copy or accept warmup mutations
+// (the bundled workloads only increment counters, so this is benign).
+func Autotune(db *storage.DB, totalThreads int, pf txn.PartitionFunc, src workload.Source, probe time.Duration) Config {
+	if totalThreads < 2 {
+		return Config{DB: db, CCThreads: 1, ExecThreads: 1, Partition: pf}
+	}
+	if probe <= 0 {
+		probe = 50 * time.Millisecond
+	}
+
+	candidates := candidateSplits(totalThreads)
+	best := candidates[0]
+	bestTput := -1.0
+	for _, cand := range candidates {
+		cfg := Config{DB: db, CCThreads: cand, ExecThreads: totalThreads - cand, Partition: pf}
+		res := New(cfg).Run(src, probe)
+		if tput := res.Throughput(); tput > bestTput {
+			bestTput = tput
+			best = cand
+		}
+	}
+	return Config{DB: db, CCThreads: best, ExecThreads: totalThreads - best, Partition: pf}
+}
+
+// candidateSplits returns distinct CC-thread counts worth probing for a
+// given budget: 1, 1/8, 1/5 (the paper's §4.4 choice), 1/3 and 1/2.
+func candidateSplits(total int) []int {
+	raw := []int{1, total / 8, total / 5, total / 3, total / 2}
+	out := raw[:0]
+	for _, v := range raw {
+		if v < 1 {
+			v = 1
+		}
+		if v >= total {
+			v = total - 1
+		}
+		dup := false
+		for _, x := range out {
+			if x == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}

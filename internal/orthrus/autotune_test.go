@@ -1,0 +1,51 @@
+package orthrus
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+func TestCandidateSplitsDistinctAndBounded(t *testing.T) {
+	for _, total := range []int{2, 3, 8, 16, 80} {
+		cands := candidateSplits(total)
+		if len(cands) == 0 {
+			t.Fatalf("no candidates for %d", total)
+		}
+		seen := map[int]bool{}
+		for _, c := range cands {
+			if c < 1 || c >= total {
+				t.Fatalf("candidate %d out of (0,%d)", c, total)
+			}
+			if seen[c] {
+				t.Fatalf("duplicate candidate %d", c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestAutotuneReturnsRunnableConfig(t *testing.T) {
+	db, tbl := newDB(1 << 10)
+	src := &workload.YCSB{Table: tbl, NumRecords: 1 << 10, OpsPerTxn: 4}
+	cfg := Autotune(db, 4, txn.HashPartitioner(4), src, 10*time.Millisecond)
+	if cfg.CCThreads+cfg.ExecThreads != 4 {
+		t.Fatalf("split %d+%d != 4", cfg.CCThreads, cfg.ExecThreads)
+	}
+	// The tuned config must actually run.
+	res := New(cfg).Run(src, 30*time.Millisecond)
+	if res.Totals.Committed == 0 {
+		t.Fatal("tuned engine committed nothing")
+	}
+}
+
+func TestAutotuneDegenerateBudget(t *testing.T) {
+	db, tbl := newDB(64)
+	src := &workload.YCSB{Table: tbl, NumRecords: 64, OpsPerTxn: 2}
+	cfg := Autotune(db, 1, txn.HashPartitioner(1), src, time.Millisecond)
+	if cfg.CCThreads != 1 || cfg.ExecThreads != 1 {
+		t.Fatalf("degenerate split = %d/%d", cfg.CCThreads, cfg.ExecThreads)
+	}
+}

@@ -1,0 +1,405 @@
+package orthrus
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/txn"
+)
+
+// localReq is one record-lock request inside a CC thread's table. It is
+// created, queued, granted and released by the single CC thread that owns
+// the record's partition, so it carries no synchronization whatsoever —
+// the core of the paper's argument that partitioned functionality makes
+// concurrency-control metadata contention-free (§3.1).
+type localReq struct {
+	w       *wrapper
+	mode    txn.Mode
+	granted bool
+	key     lockKey
+
+	prev, next *localReq
+}
+
+type lockKey struct {
+	table int
+	key   uint64
+}
+
+// lentry is one record's FIFO request queue.
+type lentry struct {
+	head, tail *localReq
+	waiters    int
+}
+
+func (e *lentry) push(r *localReq) {
+	r.prev, r.next = e.tail, nil
+	if e.tail != nil {
+		e.tail.next = r
+	} else {
+		e.head = r
+	}
+	e.tail = r
+}
+
+func (e *lentry) remove(r *localReq) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		e.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		e.tail = r.prev
+	}
+	r.prev, r.next = nil, nil
+}
+
+// compatible reports whether a new request of the given mode can be
+// granted immediately (strict FIFO: any conflicting request ahead —
+// granted or waiting — blocks it).
+func (e *lentry) compatible(mode txn.Mode) bool {
+	for cur := e.head; cur != nil; cur = cur.next {
+		if cur.mode.Conflicts(mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// grantPrefix grants the longest compatible prefix of waiting requests,
+// appending newly granted requests to out.
+func (e *lentry) grantPrefix(out []*localReq) []*localReq {
+	if e.waiters == 0 {
+		return out
+	}
+	var grantedWrite, grantedRead bool
+	for cur := e.head; cur != nil; cur = cur.next {
+		if cur.granted {
+			if cur.mode == txn.Write {
+				grantedWrite = true
+			} else {
+				grantedRead = true
+			}
+			continue
+		}
+		if cur.mode == txn.Write {
+			if grantedWrite || grantedRead {
+				return out
+			}
+			grantedWrite = true
+		} else {
+			if grantedWrite {
+				return out
+			}
+			grantedRead = true
+		}
+		cur.granted = true
+		e.waiters--
+		out = append(out, cur)
+	}
+	return out
+}
+
+// ccTable abstracts the lock-table layout: private per-CC maps (the
+// ORTHRUS design) or one latched shared table (the §3.4 alternative).
+// Either way every key is operated on by exactly one CC thread, so the
+// grant bookkeeping stays single-owner.
+type ccTable interface {
+	// insert queues r and reports whether it was granted immediately.
+	insert(r *localReq) bool
+	// release dequeues a granted r and appends any newly granted
+	// requests to out.
+	release(r *localReq, out []*localReq) []*localReq
+}
+
+// privateTable is a latch-free map owned by one CC thread.
+type privateTable struct {
+	entries map[lockKey]*lentry
+	pool    []*lentry
+}
+
+func newPrivateTable() *privateTable {
+	return &privateTable{entries: make(map[lockKey]*lentry, 1024)}
+}
+
+func (t *privateTable) insert(r *localReq) bool {
+	e := t.entries[r.key]
+	if e == nil {
+		e = t.getEntry()
+		t.entries[r.key] = e
+	}
+	if e.compatible(r.mode) {
+		r.granted = true
+		e.push(r)
+		return true
+	}
+	r.granted = false
+	e.push(r)
+	e.waiters++
+	return false
+}
+
+func (t *privateTable) release(r *localReq, out []*localReq) []*localReq {
+	e := t.entries[r.key]
+	e.remove(r)
+	out = e.grantPrefix(out)
+	if e.head == nil {
+		delete(t.entries, r.key)
+		t.putEntry(e)
+	}
+	return out
+}
+
+func (t *privateTable) getEntry() *lentry {
+	if n := len(t.pool); n > 0 {
+		e := t.pool[n-1]
+		t.pool = t.pool[:n-1]
+		return e
+	}
+	return &lentry{}
+}
+
+func (t *privateTable) putEntry(e *lentry) {
+	e.head, e.tail, e.waiters = nil, nil, 0
+	if len(t.pool) < 64 {
+		t.pool = append(t.pool, e)
+	}
+}
+
+// sharedTable is the §3.4 alternative: one bucketed, latched table that
+// all CC threads operate on. Routing still sends each key to a single CC
+// thread, so correctness is unchanged; what the variant adds back is
+// synchronization and data movement on the table structure itself.
+type sharedTable struct {
+	buckets []sharedBucket
+	mask    uint64
+}
+
+type sharedBucket struct {
+	mu      sync.Mutex
+	entries map[lockKey]*lentry
+	_       [40]byte
+}
+
+func newSharedTable(buckets int) *sharedTable {
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	t := &sharedTable{buckets: make([]sharedBucket, n), mask: uint64(n - 1)}
+	for i := range t.buckets {
+		t.buckets[i].entries = make(map[lockKey]*lentry)
+	}
+	return t
+}
+
+func (t *sharedTable) bucket(k lockKey) *sharedBucket {
+	h := k.key*0x9E3779B97F4A7C15 + uint64(k.table)*0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return &t.buckets[h&t.mask]
+}
+
+// view adapts the shared table to the ccTable interface.
+type sharedView struct{ t *sharedTable }
+
+func (v sharedView) insert(r *localReq) bool {
+	b := v.t.bucket(r.key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[r.key]
+	if e == nil {
+		e = &lentry{}
+		b.entries[r.key] = e
+	}
+	if e.compatible(r.mode) {
+		r.granted = true
+		e.push(r)
+		return true
+	}
+	r.granted = false
+	e.push(r)
+	e.waiters++
+	return false
+}
+
+func (v sharedView) release(r *localReq, out []*localReq) []*localReq {
+	b := v.t.bucket(r.key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[r.key]
+	e.remove(r)
+	out = e.grantPrefix(out)
+	if e.head == nil {
+		delete(b.entries, r.key)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// CC thread
+// ---------------------------------------------------------------------
+
+// ccThread runs the tight request-processing loop of §3.3: drain input
+// rings round-robin, inserting lock requests, forwarding transactions up
+// the chain, granting completed ones, and releasing on commit.
+type ccThread struct {
+	s   *runState
+	id  int
+	tbl ccTable
+
+	reqPool []*localReq
+	granted []*localReq // scratch for release-time grants
+}
+
+func newCCThread(s *runState, id int) *ccThread {
+	c := &ccThread{s: s, id: id}
+	if s.shared != nil {
+		c.tbl = sharedView{s.shared}
+	} else {
+		c.tbl = newPrivateTable()
+	}
+	return c
+}
+
+func (c *ccThread) loop() {
+	for {
+		if c.drainAll() {
+			continue
+		}
+		if c.s.ccStop.Load() {
+			// No new messages can arrive once execution threads exited;
+			// one final pass drains straggling releases.
+			c.drainAll()
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// drainAll processes every currently available message; reports progress.
+func (c *ccThread) drainAll() bool {
+	progress := false
+	for e := range c.s.execToCC {
+		for {
+			m, ok := c.s.execToCC[e][c.id].TryDequeue()
+			if !ok {
+				break
+			}
+			c.handle(m)
+			progress = true
+		}
+	}
+	for i := range c.s.ccToCC {
+		q := c.s.ccToCC[i][c.id]
+		if q == nil {
+			continue
+		}
+		for {
+			m, ok := q.TryDequeue()
+			if !ok {
+				break
+			}
+			c.handle(m)
+			progress = true
+		}
+	}
+	return progress
+}
+
+func (c *ccThread) handle(m message) {
+	switch m.kind {
+	case msgAcquire:
+		c.acquire(m.w)
+	case msgRelease:
+		c.releaseTxn(m.w)
+	}
+}
+
+// acquire inserts the wrapper's local lock requests. If all are granted
+// immediately the transaction advances down the chain; otherwise it parks
+// until releases drain the conflicts.
+func (c *ccThread) acquire(w *wrapper) {
+	hop := w.hopIdx
+	ops := w.opsByCC[hop]
+	reqs := w.reqs[hop]
+	pending := 0
+	for _, op := range ops {
+		r := c.getReq()
+		r.w = w
+		r.mode = op.Mode
+		r.key = lockKey{op.Table, op.Key}
+		if !c.tbl.insert(r) {
+			pending++
+		}
+		reqs = append(reqs, r)
+	}
+	w.reqs[hop] = reqs
+	w.pending = pending
+	if pending == 0 {
+		c.advance(w)
+	}
+}
+
+// advance forwards the transaction to the next CC thread in its chain
+// (the Ncc+1-message path), or — at the end of the chain, or always in
+// the DisableForwarding ablation — notifies the owning execution thread.
+func (c *ccThread) advance(w *wrapper) {
+	if !c.s.cfg.DisableForwarding && w.hopIdx+1 < len(w.hops) {
+		w.hopIdx++
+		next := w.hops[w.hopIdx]
+		c.s.nForwards.Add(1)
+		c.send(c.s.ccToCC[c.id][next], message{kind: msgAcquire, w: w})
+		return
+	}
+	// Grant rings are sized for the owner's full in-flight window, so
+	// this enqueue succeeds without blocking.
+	c.s.nGrants.Add(1)
+	if !c.s.ccToExec[c.id][w.owner].TryEnqueue(message{kind: msgAcquire, w: w}) {
+		c.send(c.s.ccToExec[c.id][w.owner], message{kind: msgAcquire, w: w})
+	}
+}
+
+// releaseTxn drops this CC thread's locks for w; newly granted requests
+// may complete other transactions' chains.
+func (c *ccThread) releaseTxn(w *wrapper) {
+	hop := w.hopOf(c.id)
+	c.granted = c.granted[:0]
+	for _, r := range w.reqs[hop] {
+		c.granted = c.tbl.release(r, c.granted)
+		c.putReq(r)
+	}
+	w.reqs[hop] = nil
+	for _, g := range c.granted {
+		g.w.pending--
+		if g.w.pending == 0 {
+			c.advance(g.w)
+		}
+	}
+}
+
+// send enqueues to a CC-to-CC ring. Blocking here is safe: forwards flow
+// strictly from lower to higher CC ids, so the wait chain is acyclic and
+// the highest CC thread always makes progress.
+func (c *ccThread) send(q interface{ Enqueue(message) bool }, m message) {
+	q.Enqueue(m)
+}
+
+func (c *ccThread) getReq() *localReq {
+	if n := len(c.reqPool); n > 0 {
+		r := c.reqPool[n-1]
+		c.reqPool = c.reqPool[:n-1]
+		return r
+	}
+	return &localReq{}
+}
+
+func (c *ccThread) putReq(r *localReq) {
+	r.w = nil
+	r.granted = false
+	r.prev, r.next = nil, nil
+	if len(c.reqPool) < 4096 {
+		c.reqPool = append(c.reqPool, r)
+	}
+}

@@ -1,0 +1,481 @@
+// Package orthrus implements the paper's system: a transaction manager
+// that partitions functionality across threads (§3.1) and plans data
+// access for deadlock freedom (§3.2).
+//
+// # Architecture
+//
+// A fixed set of concurrency-control (CC) threads each own a disjoint
+// slice of the lock space (Partition maps every record to exactly one CC
+// thread). Each CC thread keeps a private lock table — a plain map with no
+// latches, because no other thread ever reads or writes it. A fixed set of
+// execution threads run transaction logic and never touch lock state.
+//
+// The two groups share no data structures; they communicate through
+// single-producer single-consumer rings (internal/spsc), one per ordered
+// thread pair, exactly the paper's "N physical queues per logical input
+// queue" construction:
+//
+//	exec e → CC c   : acquire and release messages
+//	CC i   → CC j   : forwarded acquires (only i < j, see below)
+//	CC c   → exec e : grant notifications
+//
+// # Lock acquisition
+//
+// An execution thread sorts a transaction's declared access set by CC
+// thread id, then sends one acquire message to the lowest CC involved.
+// Each CC inserts its local requests, and once all are granted forwards
+// the transaction to the next CC in the chain; the last CC notifies the
+// owning execution thread — Ncc+1 messages instead of 2·Ncc (§3.3,
+// Figure 3). Because every transaction visits CC threads in ascending id
+// order, and each CC thread admits transactions one message at a time,
+// the waits-for relation cannot form a cycle: deadlock is impossible.
+//
+// Execution threads are asynchronous (§3.3): each keeps a window of
+// in-flight transactions and keeps submitting new ones while waiting for
+// grants, so queueing delay extends lock hold times but never idles a
+// core.
+package orthrus
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/spsc"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// Defaults.
+const (
+	DefaultQueueCap = 256
+	DefaultInflight = 8
+)
+
+// Config configures an ORTHRUS engine.
+type Config struct {
+	DB *storage.DB
+	// CCThreads and ExecThreads partition the machine's threads between
+	// the two roles (Figure 5 explores this trade-off).
+	CCThreads   int
+	ExecThreads int
+	// Partition maps records to CC threads. Defaults to
+	// txn.HashPartitioner(CCThreads).
+	Partition txn.PartitionFunc
+	// QueueCap is the ring capacity (default 256).
+	QueueCap int
+	// Inflight is each execution thread's asynchronous window (default 8).
+	Inflight int
+	// UseChannels swaps the SPSC rings for buffered Go channels — the
+	// transport ablation.
+	UseChannels bool
+	// SharedTable switches to the §3.4 alternative: CC threads operate on
+	// a single latched lock table instead of private partitions. Request
+	// routing is unchanged, so the variant isolates the cost of sharing
+	// the concurrency-control data structure itself.
+	SharedTable bool
+	// Split marks the "SPLIT ORTHRUS" variant of Figures 6/7 (physically
+	// partitioned indexes). As with split deadlock-free, the benefit the
+	// paper measures is cache locality, which this reproduction cannot
+	// exhibit; the flag changes only the reported name. See DESIGN.md §3.
+	Split bool
+	// DisableForwarding reverts to the naive protocol of §3.3/Figure 2:
+	// the execution thread mediates every CC interaction itself, paying
+	// 2·Ncc messages per acquisition instead of Ncc+1. Exists to ablate
+	// the forwarding optimization; MessageStats quantifies the saving.
+	DisableForwarding bool
+}
+
+// MessageStats counts message-plane traffic for one Run (the quantity
+// §3.3 optimizes: forwarding reduces per-acquisition messages from 2·Ncc
+// to Ncc+1).
+type MessageStats struct {
+	Acquires uint64 // exec → CC acquire messages
+	Forwards uint64 // CC → CC forwarded acquires
+	Grants   uint64 // CC → exec grant/partial-grant messages
+	Releases uint64 // exec → CC release messages
+}
+
+// AcquisitionMessages returns the messages spent acquiring locks
+// (everything except releases, which both protocols pay identically).
+func (m MessageStats) AcquisitionMessages() uint64 {
+	return m.Acquires + m.Forwards + m.Grants
+}
+
+// message kinds.
+const (
+	msgAcquire uint8 = iota
+	msgRelease
+)
+
+// message is the unit exchanged on rings. Forwarded acquires and grants
+// reuse msgAcquire: the receiver's role disambiguates.
+type message struct {
+	kind uint8
+	w    *wrapper
+}
+
+// wrapper carries a transaction through the CC chain. Field ownership:
+//
+//   - owner, hops, opsByCC, t: written by the owning exec thread before
+//     submission, read-only afterwards.
+//   - hopIdx, pending: touched only by the CC thread currently processing
+//     the wrapper (exactly one at any time — the chain is sequential).
+//   - reqs[i]: written and read only by CC thread hops[i].
+//
+// Ring transfer provides the happens-before edges between owners.
+type wrapper struct {
+	t     *txn.Txn
+	owner int
+	start time.Time // first submission, for commit-latency measurement
+
+	hops    []int      // CC ids, ascending
+	opsByCC [][]txn.Op // parallel to hops
+	reqs    [][]*localReq
+
+	hopIdx  int
+	pending int
+}
+
+// hopOf returns the index of CC thread c in the wrapper's chain.
+func (w *wrapper) hopOf(c int) int {
+	for i, h := range w.hops {
+		if h == c {
+			return i
+		}
+	}
+	panic("orthrus: CC thread received message for foreign transaction")
+}
+
+// Engine is an ORTHRUS instance.
+type Engine struct {
+	cfg  Config
+	msgs MessageStats // populated by Run
+}
+
+// Messages returns the message-plane traffic of the last completed Run.
+func (e *Engine) Messages() MessageStats { return e.msgs }
+
+// New validates the configuration and returns an engine.
+func New(cfg Config) *Engine {
+	if cfg.CCThreads <= 0 || cfg.ExecThreads <= 0 {
+		panic("orthrus: CCThreads and ExecThreads must be positive")
+	}
+	if cfg.Partition == nil {
+		cfg.Partition = txn.HashPartitioner(cfg.CCThreads)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.Inflight <= 0 {
+		cfg.Inflight = DefaultInflight
+	}
+	return &Engine{cfg: cfg}
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string {
+	base := "orthrus"
+	if e.cfg.Split {
+		base = "split-orthrus"
+	}
+	if e.cfg.SharedTable {
+		base += "-shared"
+	}
+	if e.cfg.UseChannels {
+		base += "-chan"
+	}
+	return fmt.Sprintf("%s(%dcc/%dex)", base, e.cfg.CCThreads, e.cfg.ExecThreads)
+}
+
+// runState is per-Run message-plane state.
+type runState struct {
+	cfg      Config
+	execToCC [][]spsc.Queue[message] // [exec][cc]
+	ccToCC   [][]spsc.Queue[message] // [from][to], used only for from < to
+	ccToExec [][]spsc.Queue[message] // [cc][exec]
+	shared   *sharedTable            // non-nil in SharedTable mode
+	ccStop   atomic.Bool
+
+	// message-plane counters (MessageStats after the run)
+	nAcquires atomic.Uint64
+	nForwards atomic.Uint64
+	nGrants   atomic.Uint64
+	nReleases atomic.Uint64
+}
+
+func (e *Engine) newRunState() *runState {
+	cfg := e.cfg
+	s := &runState{cfg: cfg}
+	grantCap := cfg.QueueCap
+	if grantCap < cfg.Inflight {
+		// A CC thread must never block sending grants (liveness of the
+		// message plane relies on it), so grant rings hold the whole
+		// in-flight window.
+		grantCap = cfg.Inflight
+	}
+	newQ := func(capacity int) spsc.Queue[message] {
+		if cfg.UseChannels {
+			return spsc.NewChan[message](capacity)
+		}
+		return spsc.New[message](capacity)
+	}
+	s.execToCC = make([][]spsc.Queue[message], cfg.ExecThreads)
+	for i := range s.execToCC {
+		s.execToCC[i] = make([]spsc.Queue[message], cfg.CCThreads)
+		for j := range s.execToCC[i] {
+			s.execToCC[i][j] = newQ(cfg.QueueCap)
+		}
+	}
+	s.ccToCC = make([][]spsc.Queue[message], cfg.CCThreads)
+	s.ccToExec = make([][]spsc.Queue[message], cfg.CCThreads)
+	for i := range s.ccToCC {
+		s.ccToCC[i] = make([]spsc.Queue[message], cfg.CCThreads)
+		for j := range s.ccToCC[i] {
+			if i != j {
+				s.ccToCC[i][j] = newQ(cfg.QueueCap)
+			}
+		}
+		s.ccToExec[i] = make([]spsc.Queue[message], cfg.ExecThreads)
+		for j := range s.ccToExec[i] {
+			s.ccToExec[i][j] = newQ(grantCap)
+		}
+	}
+	if cfg.SharedTable {
+		s.shared = newSharedTable(1 << 12)
+	}
+	return s
+}
+
+// Run implements engine.Engine.
+func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result {
+	s := e.newRunState()
+	set := metrics.NewSet(e.cfg.ExecThreads)
+
+	var ccWg sync.WaitGroup
+	for c := 0; c < e.cfg.CCThreads; c++ {
+		ccWg.Add(1)
+		go func(c int) {
+			defer ccWg.Done()
+			newCCThread(s, c).loop()
+		}(c)
+	}
+
+	elapsed := engine.RunWorkers(e.cfg.ExecThreads, duration, func(thread int, stop *atomic.Bool) {
+		newExecThread(s, thread, src, set.Thread(thread)).loop(stop)
+	})
+
+	// Every execution thread drained its in-flight window before exiting,
+	// so only releases (which no one waits on) remain queued. Let the CC
+	// threads take a final pass and exit.
+	s.ccStop.Store(true)
+	ccWg.Wait()
+
+	e.msgs = MessageStats{
+		Acquires: s.nAcquires.Load(),
+		Forwards: s.nForwards.Load(),
+		Grants:   s.nGrants.Load(),
+		Releases: s.nReleases.Load(),
+	}
+	return metrics.Result{System: e.Name(), Totals: set.Totals(), Duration: elapsed}
+}
+
+// ---------------------------------------------------------------------
+// Execution threads
+// ---------------------------------------------------------------------
+
+type execThread struct {
+	s     *runState
+	id    int
+	src   workload.Source
+	stats *metrics.ThreadStats
+	rng   *rand.Rand
+	ids   *engine.IDSource
+	ctx   engine.PlannedCtx
+
+	window   int
+	inflight int
+	// logicTime accumulates pure transaction-logic time within the
+	// current loop iteration, so the iteration remainder can be
+	// classified as locking overhead.
+	logicTime time.Duration
+}
+
+func newExecThread(s *runState, id int, src workload.Source, stats *metrics.ThreadStats) *execThread {
+	return &execThread{
+		s:      s,
+		id:     id,
+		src:    src,
+		stats:  stats,
+		rng:    rand.New(rand.NewSource(int64(id)*31337 + 7)),
+		ids:    engine.NewIDSource(id),
+		ctx:    engine.PlannedCtx{DB: s.cfg.DB},
+		window: s.cfg.Inflight,
+	}
+}
+
+func (x *execThread) loop(stop *atomic.Bool) {
+	for {
+		progress := false
+		t0 := time.Now()
+		x.logicTime = 0
+
+		// Drain grants from every CC thread.
+		for c := 0; c < x.s.cfg.CCThreads; c++ {
+			for {
+				m, ok := x.s.ccToExec[c][x.id].TryDequeue()
+				if !ok {
+					break
+				}
+				x.handleGrant(m.w)
+				progress = true
+			}
+		}
+
+		// Top up the asynchronous window.
+		for !stop.Load() && x.inflight < x.window {
+			t := x.src.Next(x.id, x.rng)
+			t.ID = x.ids.Next()
+			x.submit(t, time.Now())
+			progress = true
+		}
+
+		if x.inflight == 0 && stop.Load() {
+			return
+		}
+		if progress {
+			// Everything in this iteration that was not transaction logic
+			// is messaging/planning overhead: the locking bucket.
+			x.stats.AddLock(time.Since(t0) - x.logicTime)
+		} else {
+			// Idle: window full (or stopping) and no grants ready. Yield
+			// first so the measurement includes the descheduled period.
+			runtime.Gosched()
+			x.stats.AddWait(time.Since(t0))
+		}
+	}
+}
+
+// submit plans the transaction's CC chain and sends the first acquire.
+// start is the transaction's first submission time (preserved across OLLP
+// restarts so latency covers the whole retry chain).
+func (x *execThread) submit(t *txn.Txn, start time.Time) {
+	t.SortOps()
+	w := &wrapper{t: t, owner: x.id, start: start}
+
+	// Group ops by home CC thread, emitting hops in ascending CC id — the
+	// deadlock-avoidance order (§3.2). Partition ids are folded modulo the
+	// CC thread count so a partitioner with a wider range than the engine
+	// (e.g. an Autotune probe of a smaller candidate split) can never
+	// silently drop an op — every declared lock must be acquired.
+	pf := x.s.cfg.Partition
+	n := x.s.cfg.CCThreads
+	for c := 0; c < n; c++ {
+		var ops []txn.Op
+		for _, op := range t.Ops {
+			if pf(op.Table, op.Key)%n == c {
+				ops = append(ops, op)
+			}
+		}
+		if len(ops) > 0 {
+			w.hops = append(w.hops, c)
+			w.opsByCC = append(w.opsByCC, ops)
+			w.reqs = append(w.reqs, nil)
+		}
+	}
+
+	if len(w.hops) == 0 {
+		// No declared ops: nothing to lock, run immediately.
+		x.finish(w)
+		return
+	}
+
+	x.inflight++
+	x.s.nAcquires.Add(1)
+	x.send(x.s.execToCC[x.id][w.hops[0]], message{kind: msgAcquire, w: w})
+}
+
+// send enqueues, draining our own grant rings while the target is full so
+// the message plane cannot livelock.
+func (x *execThread) send(q spsc.Queue[message], m message) {
+	for !q.TryEnqueue(m) {
+		for c := 0; c < x.s.cfg.CCThreads; c++ {
+			if gm, ok := x.s.ccToExec[c][x.id].TryDequeue(); ok {
+				x.handleGrant(gm.w)
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// handleGrant processes a CC-thread notification. With forwarding enabled
+// a grant means the whole chain completed; in the §3.3 naive mode
+// (DisableForwarding) intermediate hops also notify the owner, which must
+// mediate the next hop itself — the 2·Ncc-message protocol of Figure 2.
+func (x *execThread) handleGrant(w *wrapper) {
+	if x.s.cfg.DisableForwarding && w.hopIdx+1 < len(w.hops) {
+		w.hopIdx++
+		x.s.nAcquires.Add(1)
+		x.send(x.s.execToCC[x.id][w.hops[w.hopIdx]], message{kind: msgAcquire, w: w})
+		return
+	}
+	x.finish(w)
+}
+
+// finish runs a fully-locked transaction's logic, then commits and
+// releases (or re-plans after an OLLP estimate miss).
+func (x *execThread) finish(w *wrapper) {
+	t := w.t
+	start := time.Now()
+	x.ctx.Begin(t)
+	err := t.Logic(&x.ctx)
+	d := time.Since(start)
+	x.stats.AddExec(d)
+	x.logicTime += d
+
+	locked := len(w.hops) > 0
+	if err == nil {
+		x.ctx.Commit()
+		x.release(w)
+		x.stats.Committed++
+		x.stats.Latency.Record(time.Since(w.start))
+		if locked {
+			x.inflight--
+		}
+		return
+	}
+	if err != txn.ErrEstimateMiss {
+		panic(fmt.Sprintf("orthrus: transaction logic failed: %v", err))
+	}
+	// OLLP estimate miss (§3.2): roll back, release, re-plan, restart.
+	x.ctx.Abort()
+	x.release(w)
+	if locked {
+		x.inflight--
+	}
+	x.stats.Aborted++
+	x.stats.Misses++
+	if t.Replan == nil {
+		panic("orthrus: estimate miss without Replan hook")
+	}
+	t.Replan(t)
+	t.Partitions = nil
+	x.submit(t, w.start)
+}
+
+// release notifies every CC thread in the chain. Fire-and-forget: release
+// requests are satisfied unconditionally (§3.1).
+func (x *execThread) release(w *wrapper) {
+	for _, c := range w.hops {
+		x.s.nReleases.Add(1)
+		x.send(x.s.execToCC[x.id][c], message{kind: msgRelease, w: w})
+	}
+}
+
+var _ engine.Engine = (*Engine)(nil)

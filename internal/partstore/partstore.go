@@ -1,0 +1,177 @@
+// Package partstore implements the "Partitioned-store" baseline of
+// Figures 6 and 7: a single-node H-Store/VoltDB-style system, modeled on
+// the corresponding baseline in Silo [46] (§4.3):
+//
+//   - data is partitioned across workers by a partition function;
+//   - concurrency control is a coarse partition-level spinlock — there is
+//     no record locking at all;
+//   - a worker executes a transaction by acquiring the spinlock of every
+//     partition the transaction touches (in partition-id order, which
+//     makes deadlock impossible), running the logic serially, and
+//     releasing.
+//
+// Single-partition transactions therefore pay one uncontended spinlock
+// acquisition; any multi-partition transaction serializes entire
+// partitions against each other, which is why the paper's Figure 6 shows
+// Partitioned-store collapsing as soon as transactions span two
+// partitions.
+//
+// The paper's baseline also physically partitions index structures to gain
+// cache locality. That benefit is invisible at this reproduction's scale
+// (see DESIGN.md §3); the concurrency behaviour — which drives the curve
+// shapes — is reproduced exactly.
+package partstore
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// Config configures a partitioned store.
+type Config struct {
+	DB *storage.DB
+	// Partitions is the physical partition count (paper: one per worker).
+	Partitions int
+	// Threads is the worker count; defaults to Partitions.
+	Threads int
+	// Partition maps records to partitions; defaults to
+	// txn.HashPartitioner(Partitions).
+	Partition txn.PartitionFunc
+}
+
+// spinlock is a partition's test-and-set lock, padded to its own cache
+// line. Uncontended acquisition is a single atomic — the paper's "minimal
+// overhead because the lock is cached by the corresponding worker".
+type spinlock struct {
+	v atomic.Int32
+	_ [60]byte
+}
+
+func (l *spinlock) lock() time.Duration {
+	if l.v.CompareAndSwap(0, 1) {
+		return 0
+	}
+	start := time.Now()
+	for {
+		runtime.Gosched()
+		if l.v.CompareAndSwap(0, 1) {
+			return time.Since(start)
+		}
+	}
+}
+
+func (l *spinlock) unlock() { l.v.Store(0) }
+
+// Engine is the partitioned-store engine.
+type Engine struct {
+	cfg   Config
+	locks []spinlock
+}
+
+// New validates the configuration and returns an engine.
+func New(cfg Config) *Engine {
+	if cfg.Partitions <= 0 {
+		panic("partstore: Partitions must be positive")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = cfg.Partitions
+	}
+	if cfg.Partition == nil {
+		cfg.Partition = txn.HashPartitioner(cfg.Partitions)
+	}
+	return &Engine{cfg: cfg, locks: make([]spinlock, cfg.Partitions)}
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("partstore(%dp/%dt)", e.cfg.Partitions, e.cfg.Threads)
+}
+
+// Run implements engine.Engine.
+func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result {
+	set := metrics.NewSet(e.cfg.Threads)
+	elapsed := engine.RunWorkers(e.cfg.Threads, duration, func(thread int, stop *atomic.Bool) {
+		e.worker(thread, stop, src, set.Thread(thread))
+	})
+	return metrics.Result{System: e.Name(), Totals: set.Totals(), Duration: elapsed}
+}
+
+func (e *Engine) worker(thread int, stop *atomic.Bool, src workload.Source, stats *metrics.ThreadStats) {
+	rng := rand.New(rand.NewSource(int64(thread)*6151 + 11))
+	ids := engine.NewIDSource(thread)
+	ctx := &execCtx{db: e.cfg.DB}
+
+	for !stop.Load() {
+		t := src.Next(thread, rng)
+		t.ID = ids.Next()
+
+		// The partition footprint: pre-declared by the generator or
+		// derived from the declared access set. Ascending order keeps
+		// partition-lock acquisition deadlock-free; generator-provided
+		// sets carry no ordering guarantee, so sort unconditionally.
+		parts := t.PartitionSet(e.cfg.Partition)
+		sort.Ints(parts)
+
+		txStart := time.Now()
+		lockStart := txStart
+		var waited time.Duration
+		for _, p := range parts {
+			waited += e.locks[p].lock()
+		}
+		locked := time.Since(lockStart) - waited
+
+		execStart := time.Now()
+		ctx.t = t
+		if err := t.Logic(ctx); err != nil {
+			panic(fmt.Sprintf("partstore: transaction logic failed: %v", err))
+		}
+		execDur := time.Since(execStart)
+
+		relStart := time.Now()
+		for i := len(parts) - 1; i >= 0; i-- {
+			e.locks[parts[i]].unlock()
+		}
+		locked += time.Since(relStart)
+
+		stats.Committed++
+		stats.Latency.Record(time.Since(txStart))
+		stats.AddWait(waited)
+		stats.AddLock(locked)
+		stats.AddExec(execDur)
+	}
+}
+
+// execCtx accesses storage directly: partition locks already serialize all
+// access, so there is no record locking, no undo, and no abort path —
+// exactly the H-Store execution model.
+type execCtx struct {
+	db *storage.DB
+	t  *txn.Txn
+}
+
+// Read implements txn.Ctx.
+func (c *execCtx) Read(table int, key uint64) ([]byte, error) {
+	return c.db.Table(table).Get(key), nil
+}
+
+// Write implements txn.Ctx.
+func (c *execCtx) Write(table int, key uint64) ([]byte, error) {
+	return c.db.Table(table).Get(key), nil
+}
+
+// Insert implements txn.Ctx.
+func (c *execCtx) Insert(table int, key uint64, value []byte) error {
+	return c.db.Table(table).Insert(key, value)
+}
+
+var _ engine.Engine = (*Engine)(nil)

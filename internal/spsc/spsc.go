@@ -1,0 +1,226 @@
+// Package spsc provides a latch-free single-producer single-consumer ring
+// buffer, the message transport between ORTHRUS execution threads and
+// concurrency-control threads (paper §3.1).
+//
+// Each ring has exactly one producer goroutine and one consumer goroutine.
+// Under that discipline the head and tail indices are each written by only
+// one side, so the ring needs no compare-and-swap and no mutual exclusion:
+// the producer publishes a slot with a release store of the tail, and the
+// consumer acknowledges it with a release store of the head. This mirrors
+// the "standard latch-free circular buffer" the paper cites [31], and it is
+// the reason ORTHRUS's message passing does not re-introduce the very
+// synchronization overhead it is designed to remove.
+package spsc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// cacheLinePad separates hot fields written by different goroutines so the
+// producer's tail and the consumer's head do not share a cache line.
+type cacheLinePad struct{ _ [64]byte }
+
+// Ring is a bounded SPSC queue of T. The zero value is not usable; call New.
+//
+// TryEnqueue/TryDequeue never block. Enqueue/Dequeue spin politely
+// (runtime.Gosched per iteration) so the package is safe at GOMAXPROCS=1.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // next slot to read; written only by consumer
+	_    cacheLinePad
+	tail atomic.Uint64 // next slot to write; written only by producer
+	_    cacheLinePad
+
+	// cachedHead is the producer's last observed head, avoiding an atomic
+	// load on every enqueue. cachedTail is the consumer's mirror image.
+	cachedHead uint64
+	_          cacheLinePad
+	cachedTail uint64
+
+	closed atomic.Bool
+}
+
+// New returns a ring with capacity rounded up to the next power of two.
+// Capacity must be at least 1.
+func New[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns a point-in-time element count. It is exact only when called
+// by the producer or consumer; concurrent callers see a snapshot.
+func (r *Ring[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// TryEnqueue appends v and reports whether there was room.
+// Must be called only from the producer goroutine.
+func (r *Ring[T]) TryEnqueue(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.cachedHead >= uint64(len(r.buf)) {
+		r.cachedHead = r.head.Load()
+		if tail-r.cachedHead >= uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1) // release: publishes buf write
+	return true
+}
+
+// Enqueue appends v, spinning politely while the ring is full.
+// It returns false only if the ring was closed while waiting.
+func (r *Ring[T]) Enqueue(v T) bool {
+	for !r.TryEnqueue(v) {
+		if r.closed.Load() {
+			return false
+		}
+		runtime.Gosched()
+	}
+	return true
+}
+
+// TryDequeue removes the oldest element. Must be called only from the
+// consumer goroutine.
+func (r *Ring[T]) TryDequeue() (v T, ok bool) {
+	head := r.head.Load()
+	if head >= r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if head >= r.cachedTail {
+			return v, false
+		}
+	}
+	v = r.buf[head&r.mask]
+	var zero T
+	r.buf[head&r.mask] = zero // drop reference for GC
+	r.head.Store(head + 1)    // release: frees the slot
+	return v, true
+}
+
+// Dequeue removes the oldest element, spinning politely while the ring is
+// empty. It returns ok=false only if the ring was closed and drained.
+func (r *Ring[T]) Dequeue() (v T, ok bool) {
+	for {
+		if v, ok = r.TryDequeue(); ok {
+			return v, true
+		}
+		if r.closed.Load() {
+			// Re-check after observing close: the producer may have
+			// enqueued between our failed TryDequeue and the close.
+			if v, ok = r.TryDequeue(); ok {
+				return v, true
+			}
+			return v, false
+		}
+		runtime.Gosched()
+	}
+}
+
+// Close marks the ring closed. Blocked Enqueue callers return false;
+// Dequeue callers drain remaining elements, then return false.
+func (r *Ring[T]) Close() { r.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+func (r *Ring[T]) Closed() bool { return r.closed.Load() }
+
+// Queue is the transport abstraction shared by the SPSC ring and the
+// channel-based alternative, so the ORTHRUS message plane can be ablated
+// against Go channels (DESIGN.md §6).
+type Queue[T any] interface {
+	TryEnqueue(T) bool
+	Enqueue(T) bool
+	TryDequeue() (T, bool)
+	Dequeue() (T, bool)
+	Close()
+	Len() int
+}
+
+// Chan adapts a buffered Go channel to the Queue interface.
+type Chan[T any] struct {
+	ch     chan T
+	closed atomic.Bool
+}
+
+// NewChan returns a channel-backed queue with the given buffer capacity.
+func NewChan[T any](capacity int) *Chan[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Chan[T]{ch: make(chan T, capacity)}
+}
+
+// TryEnqueue attempts a non-blocking send.
+func (c *Chan[T]) TryEnqueue(v T) bool {
+	if c.closed.Load() {
+		return false
+	}
+	select {
+	case c.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Enqueue sends v, spinning politely if the buffer is full, and returns
+// false once the queue is closed.
+func (c *Chan[T]) Enqueue(v T) bool {
+	for !c.TryEnqueue(v) {
+		if c.closed.Load() {
+			return false
+		}
+		runtime.Gosched()
+	}
+	return true
+}
+
+// TryDequeue attempts a non-blocking receive.
+func (c *Chan[T]) TryDequeue() (v T, ok bool) {
+	select {
+	case v = <-c.ch:
+		return v, true
+	default:
+		return v, false
+	}
+}
+
+// Dequeue receives, spinning politely while empty; returns ok=false after
+// the queue is closed and drained.
+func (c *Chan[T]) Dequeue() (v T, ok bool) {
+	for {
+		if v, ok = c.TryDequeue(); ok {
+			return v, true
+		}
+		if c.closed.Load() {
+			if v, ok = c.TryDequeue(); ok {
+				return v, true
+			}
+			return v, false
+		}
+		runtime.Gosched()
+	}
+}
+
+// Close marks the queue closed. Elements already buffered remain readable.
+func (c *Chan[T]) Close() { c.closed.Store(true) }
+
+// Len returns the buffered element count.
+func (c *Chan[T]) Len() int { return len(c.ch) }
+
+var (
+	_ Queue[int] = (*Ring[int])(nil)
+	_ Queue[int] = (*Chan[int])(nil)
+)

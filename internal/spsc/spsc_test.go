@@ -1,0 +1,242 @@
+package spsc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {1000, 1024},
+	}
+	for _, c := range cases {
+		if got := New[int](c.in).Cap(); got != c.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRingFIFOSingleThread(t *testing.T) {
+	r := New[int](4)
+	for i := 0; i < 4; i++ {
+		if !r.TryEnqueue(i) {
+			t.Fatalf("TryEnqueue(%d) failed on non-full ring", i)
+		}
+	}
+	if r.TryEnqueue(99) {
+		t.Fatal("TryEnqueue succeeded on full ring")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("TryDequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("TryDequeue succeeded on empty ring")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := New[int](2)
+	for round := 0; round < 1000; round++ {
+		if !r.TryEnqueue(round) {
+			t.Fatalf("round %d: enqueue failed", round)
+		}
+		v, ok := r.TryDequeue()
+		if !ok || v != round {
+			t.Fatalf("round %d: got (%d,%v)", round, v, ok)
+		}
+	}
+}
+
+func TestRingLen(t *testing.T) {
+	r := New[int](8)
+	if r.Len() != 0 {
+		t.Fatalf("empty Len = %d", r.Len())
+	}
+	r.TryEnqueue(1)
+	r.TryEnqueue(2)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	r.TryDequeue()
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRingClose(t *testing.T) {
+	r := New[int](2)
+	r.TryEnqueue(7)
+	r.Close()
+	if !r.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	// Drain continues after close.
+	if v, ok := r.Dequeue(); !ok || v != 7 {
+		t.Fatalf("Dequeue after close = (%d,%v)", v, ok)
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("Dequeue on closed empty ring returned ok")
+	}
+	// Enqueue on a full closed ring unblocks with false.
+	r2 := New[int](1)
+	r2.TryEnqueue(1)
+	r2.Close()
+	if r2.Enqueue(2) {
+		t.Fatal("Enqueue returned true on closed full ring")
+	}
+}
+
+// TestRingConcurrentFIFO is the core correctness test: one producer, one
+// consumer, every element delivered exactly once and in order.
+func TestRingConcurrentFIFO(t *testing.T) {
+	const n = 200000
+	r := New[int](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if !r.Enqueue(i) {
+				t.Error("Enqueue failed")
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		v, ok := r.Dequeue()
+		if !ok {
+			t.Fatalf("Dequeue failed at %d", i)
+		}
+		if v != i {
+			t.Fatalf("out of order: got %d at position %d", v, i)
+		}
+	}
+	wg.Wait()
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("ring not empty after draining all elements")
+	}
+}
+
+func TestChanQueueBasic(t *testing.T) {
+	q := NewChan[string](2)
+	if !q.TryEnqueue("a") || !q.TryEnqueue("b") {
+		t.Fatal("TryEnqueue failed with room available")
+	}
+	if q.TryEnqueue("c") {
+		t.Fatal("TryEnqueue succeeded past capacity")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	v, ok := q.TryDequeue()
+	if !ok || v != "a" {
+		t.Fatalf("TryDequeue = (%q,%v)", v, ok)
+	}
+	q.Close()
+	if v, ok := q.Dequeue(); !ok || v != "b" {
+		t.Fatalf("drain after close = (%q,%v)", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on closed empty chan queue returned ok")
+	}
+	if q.TryEnqueue("d") {
+		t.Fatal("TryEnqueue succeeded on closed queue")
+	}
+}
+
+func TestChanConcurrentDelivery(t *testing.T) {
+	const n = 50000
+	q := NewChan[int](16)
+	go func() {
+		for i := 0; i < n; i++ {
+			q.Enqueue(i)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v) at %d", v, ok, i)
+		}
+	}
+}
+
+// Property: for any interleaved sequence of enqueues and dequeues issued by
+// a single thread, the ring behaves exactly like a bounded FIFO model.
+func TestRingMatchesFIFOModel(t *testing.T) {
+	f := func(ops []uint8, capExp uint8) bool {
+		capacity := 1 << (capExp % 5) // 1..16
+		r := New[uint8](capacity)
+		var model []uint8
+		for i, op := range ops {
+			if op%2 == 0 { // enqueue
+				ok := r.TryEnqueue(op)
+				wantOK := len(model) < r.Cap()
+				if ok != wantOK {
+					t.Logf("op %d: enqueue ok=%v want %v", i, ok, wantOK)
+					return false
+				}
+				if ok {
+					model = append(model, op)
+				}
+			} else { // dequeue
+				v, ok := r.TryDequeue()
+				wantOK := len(model) > 0
+				if ok != wantOK {
+					t.Logf("op %d: dequeue ok=%v want %v", i, ok, wantOK)
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						t.Logf("op %d: dequeue v=%d want %d", i, v, model[0])
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if r.Len() != len(model) {
+				t.Logf("op %d: len=%d want %d", i, r.Len(), len(model))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRingPingPong(b *testing.B) {
+	r := New[int](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			r.Dequeue()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(i)
+	}
+	<-done
+}
+
+func BenchmarkChanPingPong(b *testing.B) {
+	q := NewChan[int](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			q.Dequeue()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(i)
+	}
+	<-done
+}

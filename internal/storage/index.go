@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+)
+
+// SecondaryIndex maps a secondary key (e.g. a hash of TPC-C
+// (warehouse, district, customer-last-name)) to the sorted set of primary
+// keys carrying that value. TPC-C's Payment transaction selects the
+// "middle" customer from this set (§4.4: "60% of Payment transactions must
+// find a Customer by a secondary index on customers' last name"); ORTHRUS
+// reads the index speculatively during OLLP reconnaissance to discover the
+// transaction's write set before any lock is requested.
+//
+// The index is built during load and read-heavy afterwards; a version
+// counter lets OLLP validate that its reconnaissance read was not stale.
+type SecondaryIndex struct {
+	mu      sync.RWMutex
+	entries map[uint64][]uint64
+	version uint64
+}
+
+// NewSecondaryIndex returns an empty index.
+func NewSecondaryIndex() *SecondaryIndex {
+	return &SecondaryIndex{entries: make(map[uint64][]uint64)}
+}
+
+// Add inserts primary under secondary, keeping the posting list sorted.
+func (ix *SecondaryIndex) Add(secondary, primary uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	list := ix.entries[secondary]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= primary })
+	if i < len(list) && list[i] == primary {
+		return
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = primary
+	ix.entries[secondary] = list
+	ix.version++
+}
+
+// Remove deletes primary from secondary's posting list.
+func (ix *SecondaryIndex) Remove(secondary, primary uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	list := ix.entries[secondary]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= primary })
+	if i >= len(list) || list[i] != primary {
+		return
+	}
+	ix.entries[secondary] = append(list[:i], list[i+1:]...)
+	ix.version++
+}
+
+// Lookup returns a copy of the posting list for secondary and the index
+// version at read time (for OLLP validation).
+func (ix *SecondaryIndex) Lookup(secondary uint64) (primaries []uint64, version uint64) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	list := ix.entries[secondary]
+	if len(list) == 0 {
+		return nil, ix.version
+	}
+	out := make([]uint64, len(list))
+	copy(out, list)
+	return out, ix.version
+}
+
+// Middle returns the middle element of secondary's posting list — TPC-C's
+// rule for resolving a customer by last name — plus the version.
+// ok=false when the posting list is empty.
+func (ix *SecondaryIndex) Middle(secondary uint64) (primary uint64, version uint64, ok bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	list := ix.entries[secondary]
+	if len(list) == 0 {
+		return 0, ix.version, false
+	}
+	// TPC-C clause 2.5.2.2: position n/2 rounded up in 1-based terms.
+	return list[len(list)/2], ix.version, true
+}
+
+// Version returns the current modification counter.
+func (ix *SecondaryIndex) Version() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.version
+}
+
+// Keys returns the number of distinct secondary keys.
+func (ix *SecondaryIndex) Keys() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.entries)
+}

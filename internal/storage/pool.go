@@ -1,0 +1,62 @@
+package storage
+
+import "sync"
+
+// poolChunk is the number of records carved from the arena per refill.
+const poolChunk = 1024
+
+// Pool hands out fixed-size record buffers carved from large arenas so the
+// hot path performs no per-record Go allocations. It mirrors the paper's
+// 2PL baseline discipline of "a pre-allocated thread-local pool of memory":
+// callers that want thread locality keep a Local per thread.
+type Pool struct {
+	size int
+
+	mu    sync.Mutex
+	arena []byte // current arena being carved
+}
+
+// NewPool returns a pool of size-byte buffers.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		panic("storage: pool buffer size must be positive")
+	}
+	return &Pool{size: size}
+}
+
+// Size returns the buffer size handed out by the pool.
+func (p *Pool) Size() int { return p.size }
+
+// Get returns a zeroed size-byte buffer.
+func (p *Pool) Get() []byte {
+	p.mu.Lock()
+	if len(p.arena) < p.size {
+		p.arena = make([]byte, p.size*poolChunk)
+	}
+	buf := p.arena[:p.size:p.size]
+	p.arena = p.arena[p.size:]
+	p.mu.Unlock()
+	return buf
+}
+
+// Local is a per-thread view of a Pool that refills in chunks, so
+// steady-state Get calls take no locks at all.
+type Local struct {
+	parent *Pool
+	arena  []byte
+}
+
+// NewLocal returns a thread-local allocator backed by p.
+func (p *Pool) NewLocal() *Local { return &Local{parent: p} }
+
+// Get returns a zeroed buffer without synchronization (after warmup the
+// common case touches only the local arena).
+func (l *Local) Get() []byte {
+	size := l.parent.size
+	if len(l.arena) < size {
+		l.arena = make([]byte, size*poolChunk)
+	}
+	buf := l.arena[:size:size]
+	l.arena = l.arena[size:]
+	return buf
+}

@@ -1,0 +1,287 @@
+// Package storage implements the main-memory storage substrate shared by
+// every engine in this repository (paper §3: "ORTHRUS assumes that the
+// working set of data accessed by transactions can be held in main
+// memory").
+//
+// Two table layouts are provided:
+//
+//   - FixedTable: a dense, pre-allocated arena of fixed-size records keyed
+//     by row number. This is the layout used by the YCSB-style experiments
+//     (a single table of N records of S bytes each) and by the static
+//     TPC-C tables. All record memory is allocated once at load time, so
+//     steady-state transaction processing never touches the Go allocator —
+//     the analogue of the paper's "never interacts with a memory
+//     allocator" discipline for its 2PL baseline.
+//
+//   - GrowTable: a sharded hash table supporting inserts, used for the
+//     TPC-C tables that grow during the run (ORDER, NEW-ORDER, ORDER-LINE,
+//     HISTORY). Inserts are not subject to logical locking, matching the
+//     paper's prototype scope (no phantom protection; the evaluation's
+//     contention is entirely on updates to existing rows).
+//
+// Record payloads are raw byte slices. Fixed-width integer fields inside a
+// record are read and written with the binary helpers below; every engine
+// uses the same helpers so that the per-access CPU work is identical across
+// systems, keeping the comparisons honest.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Layout describes one table's shape.
+type Layout struct {
+	Name       string
+	NumRecords uint64 // FixedTable capacity (rows 0..NumRecords-1)
+	RecordSize int    // payload bytes per record
+	Growable   bool   // true → GrowTable (insert-heavy TPC-C tables)
+}
+
+// Table is the access interface shared by both layouts.
+type Table interface {
+	// Name returns the table name.
+	Name() string
+	// Get returns the record payload for key, or nil if absent.
+	// The returned slice aliases table memory; callers synchronize via the
+	// engine's concurrency control.
+	Get(key uint64) []byte
+	// Insert adds a record payload for key. For FixedTable keys must be
+	// in-range (it overwrites); GrowTable allocates. Insert is internally
+	// thread-safe for GrowTable.
+	Insert(key uint64, value []byte) error
+	// Len returns the number of records.
+	Len() uint64
+	// RecordSize returns the fixed payload size.
+	RecordSize() int
+}
+
+// FixedTable is a dense arena of NumRecords fixed-size records.
+type FixedTable struct {
+	name    string
+	arena   []byte
+	n       uint64
+	recSize int
+}
+
+// NewFixedTable allocates the arena eagerly.
+func NewFixedTable(name string, numRecords uint64, recordSize int) *FixedTable {
+	if recordSize <= 0 {
+		panic("storage: recordSize must be positive")
+	}
+	return &FixedTable{
+		name:    name,
+		arena:   make([]byte, numRecords*uint64(recordSize)),
+		n:       numRecords,
+		recSize: recordSize,
+	}
+}
+
+// Name implements Table.
+func (t *FixedTable) Name() string { return t.name }
+
+// Get implements Table. Out-of-range keys return nil.
+func (t *FixedTable) Get(key uint64) []byte {
+	if key >= t.n {
+		return nil
+	}
+	off := key * uint64(t.recSize)
+	return t.arena[off : off+uint64(t.recSize) : off+uint64(t.recSize)]
+}
+
+// Insert implements Table by overwriting the row in place.
+func (t *FixedTable) Insert(key uint64, value []byte) error {
+	dst := t.Get(key)
+	if dst == nil {
+		return fmt.Errorf("storage: key %d out of range for table %s (n=%d)", key, t.name, t.n)
+	}
+	copy(dst, value)
+	return nil
+}
+
+// Len implements Table.
+func (t *FixedTable) Len() uint64 { return t.n }
+
+// RecordSize implements Table.
+func (t *FixedTable) RecordSize() int { return t.recSize }
+
+// growShards is the shard count for GrowTable. Power of two.
+const growShards = 64
+
+type growShard struct {
+	mu sync.Mutex
+	m  map[uint64][]byte
+}
+
+// GrowTable is a sharded hash table for insert-heavy tables.
+type GrowTable struct {
+	name    string
+	recSize int
+	shards  [growShards]growShard
+	pool    *Pool
+}
+
+// NewGrowTable returns an empty growable table. sizeHint pre-sizes shards.
+func NewGrowTable(name string, recordSize int, sizeHint uint64) *GrowTable {
+	t := &GrowTable{name: name, recSize: recordSize, pool: NewPool(recordSize)}
+	per := int(sizeHint / growShards)
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64][]byte, per)
+	}
+	return t
+}
+
+func (t *GrowTable) shard(key uint64) *growShard {
+	// Fibonacci hash spreads sequential TPC-C order ids across shards.
+	return &t.shards[(key*0x9E3779B97F4A7C15)>>(64-6)]
+}
+
+// Name implements Table.
+func (t *GrowTable) Name() string { return t.name }
+
+// Get implements Table.
+func (t *GrowTable) Get(key uint64) []byte {
+	s := t.shard(key)
+	s.mu.Lock()
+	v := s.m[key]
+	s.mu.Unlock()
+	return v
+}
+
+// Insert implements Table. The value is copied into pool-owned memory.
+func (t *GrowTable) Insert(key uint64, value []byte) error {
+	if len(value) > t.recSize {
+		return fmt.Errorf("storage: value size %d exceeds record size %d for table %s", len(value), t.recSize, t.name)
+	}
+	buf := t.pool.Get()
+	copy(buf, value)
+	s := t.shard(key)
+	s.mu.Lock()
+	s.m[key] = buf
+	s.mu.Unlock()
+	return nil
+}
+
+// Len implements Table.
+func (t *GrowTable) Len() uint64 {
+	var n uint64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += uint64(len(s.m))
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// RecordSize implements Table.
+func (t *GrowTable) RecordSize() int { return t.recSize }
+
+// DB is a named collection of tables plus secondary indexes.
+type DB struct {
+	mu      sync.RWMutex
+	tables  []Table
+	byName  map[string]int
+	indexes map[string]*SecondaryIndex
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{byName: make(map[string]int), indexes: make(map[string]*SecondaryIndex)}
+}
+
+// Create builds a table from its layout and registers it, returning its id.
+func (db *DB) Create(l Layout) int {
+	var t Table
+	if l.Growable {
+		t = NewGrowTable(l.Name, l.RecordSize, l.NumRecords)
+	} else {
+		t = NewFixedTable(l.Name, l.NumRecords, l.RecordSize)
+	}
+	return db.Register(t)
+}
+
+// Register adds an existing table and returns its id.
+func (db *DB) Register(t Table) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.byName[t.Name()]; dup {
+		panic("storage: duplicate table " + t.Name())
+	}
+	id := len(db.tables)
+	db.tables = append(db.tables, t)
+	db.byName[t.Name()] = id
+	return id
+}
+
+// Table returns the table with the given id.
+func (db *DB) Table(id int) Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[id]
+}
+
+// TableID returns the id for name, or -1.
+func (db *DB) TableID(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if id, ok := db.byName[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// NumTables returns the number of registered tables.
+func (db *DB) NumTables() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.tables)
+}
+
+// AddIndex registers a named secondary index.
+func (db *DB) AddIndex(name string, idx *SecondaryIndex) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.indexes[name] = idx
+}
+
+// Index returns a named secondary index, or nil.
+func (db *DB) Index(name string) *SecondaryIndex {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.indexes[name]
+}
+
+// --- fixed-width field helpers -----------------------------------------
+
+// GetU64 reads a little-endian uint64 at byte offset off.
+func GetU64(rec []byte, off int) uint64 {
+	return binary.LittleEndian.Uint64(rec[off : off+8])
+}
+
+// PutU64 writes a little-endian uint64 at byte offset off.
+func PutU64(rec []byte, off int, v uint64) {
+	binary.LittleEndian.PutUint64(rec[off:off+8], v)
+}
+
+// GetI64 reads a little-endian int64 at byte offset off.
+func GetI64(rec []byte, off int) int64 { return int64(GetU64(rec, off)) }
+
+// PutI64 writes a little-endian int64 at byte offset off.
+func PutI64(rec []byte, off int, v int64) { PutU64(rec, off, uint64(v)) }
+
+// AddU64 adds delta to the uint64 at off and returns the new value.
+// Callers hold the record's logical lock; no atomicity is implied.
+func AddU64(rec []byte, off int, delta uint64) uint64 {
+	v := GetU64(rec, off) + delta
+	PutU64(rec, off, v)
+	return v
+}
+
+// AddI64 adds delta to the int64 at off and returns the new value.
+func AddI64(rec []byte, off int, delta int64) int64 {
+	v := GetI64(rec, off) + delta
+	PutI64(rec, off, v)
+	return v
+}

@@ -1,0 +1,289 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedTableGetInsert(t *testing.T) {
+	tbl := NewFixedTable("t", 10, 16)
+	if tbl.Len() != 10 || tbl.RecordSize() != 16 || tbl.Name() != "t" {
+		t.Fatal("metadata mismatch")
+	}
+	val := bytes.Repeat([]byte{0xAB}, 16)
+	if err := tbl.Insert(3, val); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Get(3); !bytes.Equal(got, val) {
+		t.Fatalf("Get(3) = %x", got)
+	}
+	if got := tbl.Get(2); !bytes.Equal(got, make([]byte, 16)) {
+		t.Fatalf("untouched row not zero: %x", got)
+	}
+	if tbl.Get(10) != nil {
+		t.Fatal("out-of-range Get returned non-nil")
+	}
+	if err := tbl.Insert(10, val); err == nil {
+		t.Fatal("out-of-range Insert succeeded")
+	}
+}
+
+func TestFixedTableRowsDoNotAlias(t *testing.T) {
+	tbl := NewFixedTable("t", 4, 8)
+	r0, r1 := tbl.Get(0), tbl.Get(1)
+	copy(r0, bytes.Repeat([]byte{1}, 8))
+	if r1[0] != 0 {
+		t.Fatal("writing row 0 leaked into row 1")
+	}
+	// Appending to a row slice must not clobber the neighbor (capacity is
+	// clamped to the record boundary).
+	_ = append(r0[:0], bytes.Repeat([]byte{9}, 9)...)
+	if tbl.Get(1)[0] != 0 {
+		t.Fatal("append past record size overwrote next row")
+	}
+}
+
+func TestGrowTableBasics(t *testing.T) {
+	tbl := NewGrowTable("g", 8, 100)
+	if tbl.Get(42) != nil {
+		t.Fatal("Get on empty table returned non-nil")
+	}
+	if err := tbl.Insert(42, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.Get(42)
+	if len(got) != 8 || !bytes.Equal(got[:5], []byte("hello")) {
+		t.Fatalf("Get = %q", got)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if err := tbl.Insert(1, make([]byte, 9)); err == nil {
+		t.Fatal("oversized insert succeeded")
+	}
+}
+
+func TestGrowTableConcurrentInserts(t *testing.T) {
+	tbl := NewGrowTable("g", 8, 0)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			for i := 0; i < per; i++ {
+				key := uint64(w*per + i)
+				PutU64(buf, 0, key)
+				if err := tbl.Insert(key, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tbl.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), workers*per)
+	}
+	for key := uint64(0); key < workers*per; key++ {
+		if got := GetU64(tbl.Get(key), 0); got != key {
+			t.Fatalf("key %d holds %d", key, got)
+		}
+	}
+}
+
+func TestDBRegistry(t *testing.T) {
+	db := NewDB()
+	a := db.Create(Layout{Name: "a", NumRecords: 4, RecordSize: 8})
+	b := db.Create(Layout{Name: "b", NumRecords: 4, RecordSize: 8, Growable: true})
+	if db.NumTables() != 2 {
+		t.Fatalf("NumTables = %d", db.NumTables())
+	}
+	if db.TableID("a") != a || db.TableID("b") != b {
+		t.Fatal("TableID mismatch")
+	}
+	if db.TableID("missing") != -1 {
+		t.Fatal("missing table id != -1")
+	}
+	if _, ok := db.Table(a).(*FixedTable); !ok {
+		t.Fatal("table a is not fixed")
+	}
+	if _, ok := db.Table(b).(*GrowTable); !ok {
+		t.Fatal("table b is not growable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Create did not panic")
+		}
+	}()
+	db.Create(Layout{Name: "a", NumRecords: 1, RecordSize: 1})
+}
+
+func TestFieldHelpers(t *testing.T) {
+	rec := make([]byte, 24)
+	PutU64(rec, 0, 7)
+	PutI64(rec, 8, -5)
+	if GetU64(rec, 0) != 7 || GetI64(rec, 8) != -5 {
+		t.Fatal("round trip failed")
+	}
+	if AddU64(rec, 0, 3) != 10 || GetU64(rec, 0) != 10 {
+		t.Fatal("AddU64")
+	}
+	if AddI64(rec, 8, -5) != -10 || GetI64(rec, 8) != -10 {
+		t.Fatal("AddI64")
+	}
+	// Property: Put then Get is identity for any value/offset.
+	f := func(v uint64, offRaw uint8) bool {
+		off := int(offRaw) % 16
+		PutU64(rec, off, v)
+		return GetU64(rec, off) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolBuffersDistinct(t *testing.T) {
+	p := NewPool(8)
+	a, b := p.Get(), p.Get()
+	copy(a, "aaaaaaaa")
+	if b[0] != 0 {
+		t.Fatal("pool buffers alias")
+	}
+	l := p.NewLocal()
+	c := l.Get()
+	copy(c, "cccccccc")
+	d := l.Get()
+	if d[0] != 0 {
+		t.Fatal("local buffers alias")
+	}
+	if len(a) != 8 || len(c) != 8 {
+		t.Fatal("wrong buffer size")
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(16)
+	const workers, per = 8, 2000
+	bufs := make([][][]byte, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := p.NewLocal()
+			for i := 0; i < per; i++ {
+				buf := l.Get()
+				PutU64(buf, 0, uint64(w))
+				PutU64(buf, 8, uint64(i))
+				bufs[w] = append(bufs[w], buf)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range bufs {
+		for i, buf := range bufs[w] {
+			if GetU64(buf, 0) != uint64(w) || GetU64(buf, 8) != uint64(i) {
+				t.Fatalf("buffer (%d,%d) corrupted", w, i)
+			}
+		}
+	}
+}
+
+func TestSecondaryIndexAddLookup(t *testing.T) {
+	ix := NewSecondaryIndex()
+	for _, pk := range []uint64{30, 10, 20, 10} { // dup 10 ignored
+		ix.Add(5, pk)
+	}
+	list, _ := ix.Lookup(5)
+	want := []uint64{10, 20, 30}
+	if len(list) != 3 {
+		t.Fatalf("Lookup = %v", list)
+	}
+	for i := range want {
+		if list[i] != want[i] {
+			t.Fatalf("Lookup = %v, want %v", list, want)
+		}
+	}
+	if ix.Keys() != 1 {
+		t.Fatalf("Keys = %d", ix.Keys())
+	}
+	// Lookup returns a copy: mutating it must not corrupt the index.
+	list[0] = 999
+	list2, _ := ix.Lookup(5)
+	if list2[0] != 10 {
+		t.Fatal("Lookup returned aliasing slice")
+	}
+}
+
+func TestSecondaryIndexMiddle(t *testing.T) {
+	ix := NewSecondaryIndex()
+	if _, _, ok := ix.Middle(1); ok {
+		t.Fatal("Middle on empty key returned ok")
+	}
+	ix.Add(1, 100)
+	if mid, _, ok := ix.Middle(1); !ok || mid != 100 {
+		t.Fatalf("Middle single = %d,%v", mid, ok)
+	}
+	ix.Add(1, 200)
+	ix.Add(1, 300)
+	if mid, _, _ := ix.Middle(1); mid != 200 {
+		t.Fatalf("Middle of 3 = %d, want 200", mid)
+	}
+	ix.Add(1, 400)
+	if mid, _, _ := ix.Middle(1); mid != 300 {
+		t.Fatalf("Middle of 4 = %d, want 300", mid)
+	}
+}
+
+func TestSecondaryIndexVersionAndRemove(t *testing.T) {
+	ix := NewSecondaryIndex()
+	v0 := ix.Version()
+	ix.Add(7, 1)
+	if ix.Version() == v0 {
+		t.Fatal("Add did not bump version")
+	}
+	_, v1, _ := ix.Middle(7)
+	ix.Remove(7, 1)
+	if ix.Version() == v1 {
+		t.Fatal("Remove did not bump version")
+	}
+	if list, _ := ix.Lookup(7); len(list) != 0 {
+		t.Fatalf("after remove: %v", list)
+	}
+	ix.Remove(7, 99) // no-op removal of absent key must not bump
+	v2 := ix.Version()
+	ix.Remove(7, 99)
+	if ix.Version() != v2 {
+		t.Fatal("no-op Remove bumped version")
+	}
+}
+
+// Property: posting lists stay sorted and duplicate-free under any Add
+// sequence.
+func TestSecondaryIndexSortedProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		ix := NewSecondaryIndex()
+		seen := map[uint64]bool{}
+		for _, k := range keys {
+			ix.Add(0, uint64(k))
+			seen[uint64(k)] = true
+		}
+		list, _ := ix.Lookup(0)
+		if len(list) != len(seen) {
+			return false
+		}
+		for i := 1; i < len(list); i++ {
+			if list[i-1] >= list[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package tpcc
+
+import (
+	"math/rand"
+
+	"repro/internal/txn"
+)
+
+// Paper-default mix rates (§4.4).
+const (
+	DefaultRemoteNewOrderPct = 10 // NewOrder txns spanning two warehouses
+	DefaultRemotePaymentPct  = 15 // Payment txns paying a remote customer
+)
+
+// Mix is a workload.Source emitting a weighted TPC-C transaction mix. The
+// zero weights default to the paper's evaluation mix: 50% NewOrder, 50%
+// Payment ("our evaluation therefore uses an equal mix of NewOrder and
+// Payment transactions", §4.4).
+type Mix struct {
+	S *Schema
+
+	// Weights; all zero means {NewOrder: 50, Payment: 50}.
+	NewOrderWeight    int
+	PaymentWeight     int
+	OrderStatusWeight int
+	DeliveryWeight    int
+	StockLevelWeight  int
+
+	// RemoteNewOrderPct / RemotePaymentPct override the spec rates;
+	// zero means the defaults above.
+	RemoteNewOrderPct int
+	RemotePaymentPct  int
+}
+
+func (m *Mix) rates() (no, pay, os, del, sl, total int) {
+	no, pay, os, del, sl = m.NewOrderWeight, m.PaymentWeight, m.OrderStatusWeight, m.DeliveryWeight, m.StockLevelWeight
+	total = no + pay + os + del + sl
+	if total == 0 {
+		no, pay, total = 50, 50, 100
+	}
+	return
+}
+
+func (m *Mix) remoteNO() int {
+	if m.RemoteNewOrderPct != 0 {
+		return m.RemoteNewOrderPct
+	}
+	return DefaultRemoteNewOrderPct
+}
+
+func (m *Mix) remotePay() int {
+	if m.RemotePaymentPct != 0 {
+		return m.RemotePaymentPct
+	}
+	return DefaultRemotePaymentPct
+}
+
+// Next implements workload.Source.
+func (m *Mix) Next(_ int, rng *rand.Rand) *txn.Txn {
+	no, pay, os, del, _, total := m.rates()
+	r := rng.Intn(total)
+	switch {
+	case r < no:
+		return m.S.NewOrderTxn(m.S.GenNewOrderParams(rng, m.remoteNO()))
+	case r < no+pay:
+		return m.S.PaymentTxn(m.S.GenPaymentParams(rng, m.remotePay()))
+	case r < no+pay+os:
+		return m.S.OrderStatusTxn(m.S.GenOrderStatusParams(rng))
+	case r < no+pay+os+del:
+		return m.S.DeliveryTxn(rng.Intn(m.S.W))
+	default:
+		return m.S.StockLevelTxn(m.S.GenStockLevelParams(rng))
+	}
+}

@@ -1,0 +1,266 @@
+package tpcc
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// NURand is the spec's non-uniform random function (clause 2.1.6) with
+// the constant fixed at load time.
+func NURand(rng *rand.Rand, a, x, y int) int {
+	c := a / 2 // fixed C; any constant in [0,a] satisfies the spec shape
+	return (((rng.Intn(a+1) | (x + rng.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}
+
+// NewOrderParams are one NewOrder invocation's inputs.
+type NewOrderParams struct {
+	W, D, C  int
+	Items    []int // item ids
+	SupplyW  []int // supply warehouse per line
+	Qty      []int
+	RemoteWH bool // true when any line's supply warehouse differs from W
+}
+
+// GenNewOrderParams draws spec-distributed inputs. remotePct is the
+// percentage of transactions that span two warehouses (paper: 10%).
+func (s *Schema) GenNewOrderParams(rng *rand.Rand, remotePct int) NewOrderParams {
+	w := rng.Intn(s.W)
+	p := NewOrderParams{
+		W: w,
+		D: rng.Intn(DistrictsPerWarehouse),
+		C: NURand(rng, 1023, 0, s.CustomersPerDistrict-1),
+	}
+	n := 5 + rng.Intn(11) // 5..15 lines
+	seen := make(map[int]bool, n)
+	for len(p.Items) < n {
+		it := NURand(rng, 8191, 0, s.Items-1)
+		if seen[it] {
+			continue
+		}
+		seen[it] = true
+		p.Items = append(p.Items, it)
+		p.SupplyW = append(p.SupplyW, w)
+		p.Qty = append(p.Qty, 1+rng.Intn(10))
+	}
+	if s.W > 1 && rng.Intn(100) < remotePct {
+		// One line supplied by a remote warehouse: the transaction spans
+		// two warehouses (paper §4.4).
+		line := rng.Intn(n)
+		remote := rng.Intn(s.W - 1)
+		if remote >= w {
+			remote++
+		}
+		p.SupplyW[line] = remote
+		p.RemoteWH = true
+	}
+	return p
+}
+
+// NewOrderTxn builds a runnable NewOrder transaction. The declared access
+// set is exact (no reconnaissance needed): R(Warehouse), W(District),
+// R(Customer), W(Stock per line). Item reads bypass concurrency control —
+// the Item table is read-only (§4.4) — as do the Order/NewOrder/OrderLine
+// inserts (append-only tables).
+func (s *Schema) NewOrderTxn(p NewOrderParams) *txn.Txn {
+	t := &txn.Txn{}
+	t.Ops = append(t.Ops,
+		txn.Op{Table: s.Warehouse, Key: WKey(p.W), Mode: txn.Read},
+		txn.Op{Table: s.District, Key: DKey(p.W, p.D), Mode: txn.Write},
+		txn.Op{Table: s.Customer, Key: s.CKey(p.W, p.D, p.C), Mode: txn.Read},
+	)
+	for i, it := range p.Items {
+		t.Ops = append(t.Ops, txn.Op{Table: s.Stock, Key: s.SKey(p.SupplyW[i], it), Mode: txn.Write})
+	}
+
+	t.Logic = func(ctx txn.Ctx) error {
+		wrec, err := ctx.Read(s.Warehouse, WKey(p.W))
+		if err != nil {
+			return err
+		}
+		wtax := storage.GetU64(wrec, wTax)
+
+		drec, err := ctx.Write(s.District, DKey(p.W, p.D))
+		if err != nil {
+			return err
+		}
+		dtax := storage.GetU64(drec, dTax)
+		oid := storage.AtomicGetU64(drec, dNextOID)
+		storage.AtomicPutU64(drec, dNextOID, oid+1)
+
+		crec, err := ctx.Read(s.Customer, s.CKey(p.W, p.D, p.C))
+		if err != nil {
+			return err
+		}
+		_ = crec
+
+		var total uint64
+		var line [orderLineSize]byte
+		for i, it := range p.Items {
+			price := storage.GetU64(s.DB.Table(s.Item).Get(IKey(it)), iPrice)
+
+			srec, err := ctx.Write(s.Stock, s.SKey(p.SupplyW[i], it))
+			if err != nil {
+				return err
+			}
+			qty := storage.GetI64(srec, sQuantity)
+			if qty >= int64(p.Qty[i])+10 {
+				qty -= int64(p.Qty[i])
+			} else {
+				qty = qty - int64(p.Qty[i]) + 91
+			}
+			storage.PutI64(srec, sQuantity, qty)
+			storage.AddU64(srec, sYTD, uint64(p.Qty[i]))
+			storage.AddU64(srec, sOrderCnt, 1)
+			if p.SupplyW[i] != p.W {
+				storage.AddU64(srec, sRemoteCnt, 1)
+			}
+
+			amount := uint64(p.Qty[i]) * price
+			total += amount
+			storage.PutU64(line[:], olIID, uint64(it))
+			storage.PutU64(line[:], olSupplyW, uint64(p.SupplyW[i]))
+			storage.PutU64(line[:], olQuantity, uint64(p.Qty[i]))
+			storage.PutU64(line[:], olAmount, amount)
+			if err := ctx.Insert(s.OrderLine, OLKey(p.W, p.D, oid, i+1), line[:]); err != nil {
+				return err
+			}
+		}
+		_ = wtax + dtax // tax would adjust total; total itself feeds no invariant
+
+		var orec [orderSize]byte
+		storage.PutU64(orec[:], oCID, s.CKey(p.W, p.D, p.C))
+		storage.PutU64(orec[:], oOLCnt, uint64(len(p.Items)))
+		if err := ctx.Insert(s.Order, OKey(p.W, p.D, oid), orec[:]); err != nil {
+			return err
+		}
+		var marker [newOrderSize]byte
+		marker[0] = 1 // pending delivery
+		if err := ctx.Insert(s.NewOrder, OKey(p.W, p.D, oid), marker[:]); err != nil {
+			return err
+		}
+		// Remember the customer's latest order for OrderStatus. The write
+		// targets a field no other transaction type touches, and NewOrder
+		// transactions for one customer serialize on the district lock,
+		// so the direct write is safe.
+		storage.AtomicPutU64(crec, cLastOrder, oid)
+		return nil
+	}
+	return t
+}
+
+// PaymentParams are one Payment invocation's inputs.
+type PaymentParams struct {
+	W, D     int // home warehouse/district (W and D rows updated)
+	CW, CD   int // customer's warehouse/district (15% remote)
+	ByName   bool
+	NameCode int
+	C        int // customer id when !ByName
+	Amount   uint64
+}
+
+// GenPaymentParams draws spec-distributed inputs. remotePct is the
+// percentage of payments whose customer lives at another warehouse
+// (paper: 15%); 60% of payments select the customer by last name.
+func (s *Schema) GenPaymentParams(rng *rand.Rand, remotePct int) PaymentParams {
+	w := rng.Intn(s.W)
+	p := PaymentParams{
+		W:      w,
+		D:      rng.Intn(DistrictsPerWarehouse),
+		CW:     w,
+		Amount: uint64(100 + rng.Intn(499901)), // $1.00 .. $5000.00
+	}
+	p.CD = rng.Intn(DistrictsPerWarehouse)
+	if s.W > 1 && rng.Intn(100) < remotePct {
+		p.CW = rng.Intn(s.W - 1)
+		if p.CW >= w {
+			p.CW++
+		}
+	}
+	if rng.Intn(100) < 60 {
+		p.ByName = true
+		codes := s.CustomersPerDistrict
+		if codes > 1000 {
+			codes = 1000
+		}
+		p.NameCode = NURand(rng, 255, 0, 999) % codes
+	} else {
+		p.C = NURand(rng, 1023, 0, s.CustomersPerDistrict-1)
+	}
+	return p
+}
+
+// resolveCustomer maps PaymentParams to the customer primary key,
+// consulting the last-name secondary index when needed.
+func (s *Schema) resolveCustomer(p PaymentParams) (uint64, bool) {
+	if !p.ByName {
+		return s.CKey(p.CW, p.CD, p.C), true
+	}
+	ck, _, ok := s.CustIndex.Middle(lastNameKey(p.CW, p.CD, p.NameCode))
+	return ck, ok
+}
+
+// PaymentTxn builds a runnable Payment transaction. For the 60% of
+// payments that locate the customer by last name, the write set is
+// "deducible only upon reading the value of a secondary index" (§4.4), so
+// the access set is planned by OLLP reconnaissance: resolveCustomer reads
+// the index without locks, the result is annotated into Ops, and the logic
+// re-resolves at execution time. A divergence surfaces as
+// txn.ErrEstimateMiss through the planned context, and Replan rebuilds the
+// estimate.
+func (s *Schema) PaymentTxn(p PaymentParams) *txn.Txn {
+	t := &txn.Txn{}
+	plan := func(t *txn.Txn) {
+		ck, ok := s.resolveCustomer(p)
+		t.Ops = t.Ops[:0]
+		t.Ops = append(t.Ops,
+			txn.Op{Table: s.Warehouse, Key: WKey(p.W), Mode: txn.Write},
+			txn.Op{Table: s.District, Key: DKey(p.W, p.D), Mode: txn.Write},
+		)
+		if ok {
+			t.Ops = append(t.Ops, txn.Op{Table: s.Customer, Key: ck, Mode: txn.Write})
+		}
+	}
+	plan(t)
+	t.Replan = plan
+
+	t.Logic = func(ctx txn.Ctx) error {
+		wrec, err := ctx.Write(s.Warehouse, WKey(p.W))
+		if err != nil {
+			return err
+		}
+		storage.AddU64(wrec, wYTD, p.Amount)
+
+		drec, err := ctx.Write(s.District, DKey(p.W, p.D))
+		if err != nil {
+			return err
+		}
+		storage.AddU64(drec, dYTD, p.Amount)
+
+		ck, ok := s.resolveCustomer(p)
+		if ok {
+			crec, err := ctx.Write(s.Customer, ck)
+			if err != nil {
+				return err
+			}
+			storage.AddI64(crec, cBalance, -int64(p.Amount))
+			storage.AddU64(crec, cYTDPayment, p.Amount)
+			storage.AddU64(crec, cPaymentCnt, 1)
+		}
+
+		var hrec [historySize]byte
+		storage.PutU64(hrec[:], hCID, ck)
+		storage.PutU64(hrec[:], hAmount, p.Amount)
+		return ctx.Insert(s.History, historyKey(), hrec[:])
+	}
+	return t
+}
+
+// historySeq hands out unique append-only History keys. History rows are
+// never read back by any transaction, so a global counter is the only
+// cross-thread state and it is off every measured path's critical section.
+var historySeq atomic.Uint64
+
+func historyKey() uint64 { return historySeq.Add(1) }

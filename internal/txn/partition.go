@@ -1,0 +1,55 @@
+package txn
+
+// PartitionFunc maps a record to its home partition. ORTHRUS uses it to
+// route lock requests to concurrency-control threads; Partitioned-store
+// uses it to place data. Workload generators use the same function so the
+// partition-locality experiments (Figures 5-7, Appendix A single/dual/
+// random configurations) can constrain each transaction's footprint.
+type PartitionFunc func(table int, key uint64) int
+
+// HashPartitioner spreads keys round-robin across n partitions
+// (key mod n). This is the mapping used by all YCSB-style experiments.
+func HashPartitioner(n int) PartitionFunc {
+	return func(_ int, key uint64) int { return int(key % uint64(n)) }
+}
+
+// PartitionSet derives the distinct home partitions of t's declared access
+// set in ascending order, caching the result in t.Partitions.
+func (t *Txn) PartitionSet(pf PartitionFunc) []int {
+	if t.Partitions != nil {
+		return t.Partitions
+	}
+	var set [64]bool
+	var overflow map[int]bool
+	for _, op := range t.Ops {
+		p := pf(op.Table, op.Key)
+		if p < len(set) {
+			set[p] = true
+		} else {
+			if overflow == nil {
+				overflow = make(map[int]bool)
+			}
+			overflow[p] = true
+		}
+	}
+	for p := range set {
+		if set[p] {
+			t.Partitions = append(t.Partitions, p)
+		}
+	}
+	if overflow != nil {
+		for p := range overflow {
+			t.Partitions = append(t.Partitions, p)
+		}
+		sortInts(t.Partitions)
+	}
+	return t.Partitions
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package txn defines the transaction representation shared by every
+// engine: a declared access set (for the planned-access engines — ORTHRUS
+// and Deadlock-free locking), a logic closure executed against an
+// engine-supplied access context (Ctx), and abort/retry bookkeeping.
+//
+// The same Txn value runs unmodified on every engine in the repository;
+// only the Ctx implementation differs. Conventional 2PL ignores Ops and
+// acquires locks lazily as Logic touches records; the planned engines
+// acquire the locks named by Ops up front and then run Logic with locking
+// already settled. This mirrors the paper's methodology of comparing all
+// systems "within the same ORTHRUS transaction management codebase" (§4).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Mode is a record access mode.
+type Mode uint8
+
+// Access modes. Write subsumes Read (read-modify-write acquires Write).
+const (
+	Read Mode = iota
+	Write
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Conflicts reports whether two access modes on the same record conflict.
+// Only Read/Read is compatible.
+func (m Mode) Conflicts(o Mode) bool { return m == Write || o == Write }
+
+// Op names one record in a transaction's declared access set.
+type Op struct {
+	Table int
+	Key   uint64
+	Mode  Mode
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string { return fmt.Sprintf("%s t%d/%d", o.Mode, o.Table, o.Key) }
+
+// Less orders ops by (table, key): the global lock order used by the
+// Deadlock-free engine (paper §3.2 "lexicographical order").
+func (o Op) Less(b Op) bool {
+	if o.Table != b.Table {
+		return o.Table < b.Table
+	}
+	return o.Key < b.Key
+}
+
+// ErrAborted is returned through Ctx accessors and Logic when the engine's
+// deadlock handler chose this transaction as a victim. Engines undo the
+// transaction's writes, release its locks and (by default) restart it.
+var ErrAborted = errors.New("txn: aborted by deadlock handler")
+
+// ErrEstimateMiss is returned when a planned-access engine discovers,
+// mid-execution, that the transaction touched a record absent from its
+// declared access set. Under OLLP the engine re-runs reconnaissance and
+// restarts with the corrected estimate (paper §3.2).
+var ErrEstimateMiss = errors.New("txn: access outside declared read/write set")
+
+// Ctx is the engine-supplied access context Logic runs against. Accessors
+// return ErrAborted when the transaction must abort; Logic must propagate
+// that error immediately.
+type Ctx interface {
+	// Read returns the record payload for reading.
+	Read(table int, key uint64) ([]byte, error)
+	// Write returns the record payload for in-place modification. The
+	// engine has recorded an undo image; mutations are rolled back if the
+	// transaction subsequently aborts.
+	Write(table int, key uint64) ([]byte, error)
+	// Insert adds a new record. Inserts bypass logical locking (see
+	// internal/storage package comment).
+	Insert(table int, key uint64, value []byte) error
+}
+
+// Logic is a transaction body. It may be re-executed after aborts, so it
+// must be deterministic given the same Ctx responses and must not carry
+// side effects outside the Ctx.
+type Logic func(ctx Ctx) error
+
+// Txn is one transaction instance.
+type Txn struct {
+	// ID is assigned by the engine; unique within a run.
+	ID uint64
+	// Ops is the declared access set used by planned-access engines.
+	// Conventional 2PL ignores it.
+	Ops []Op
+	// Logic is the transaction body.
+	Logic Logic
+	// Partitions optionally pre-computes the set of home partitions the
+	// transaction touches (used by Partitioned-store and by ORTHRUS's
+	// partition-locality experiment configurations). When nil, engines
+	// derive it from Ops.
+	Partitions []int
+	// Restarts counts aborts-and-retries suffered so far.
+	Restarts int
+	// Replan re-runs OLLP reconnaissance after an estimate miss,
+	// rebuilding Ops (and Logic, if it captured planned keys). Engines
+	// call it when an access returns ErrEstimateMiss. Nil for
+	// transactions whose access sets are exact by construction.
+	Replan func(*Txn)
+
+	// engine scratch, reset by engines between runs
+	Pending int32  // ORTHRUS: locks not yet granted at the current CC thread
+	Owner   int    // ORTHRUS: issuing execution thread
+	Hops    []int  // ORTHRUS: CC thread visit chain, ascending
+	TS      uint64 // wait-die timestamp
+}
+
+// SortOps sorts the declared access set into the global lock order and
+// removes duplicate (table,key) entries, widening Read to Write when both
+// appear. Planned engines call this once before first execution.
+func (t *Txn) SortOps() {
+	if len(t.Ops) < 2 {
+		return
+	}
+	sort.Slice(t.Ops, func(i, j int) bool { return t.Ops[i].Less(t.Ops[j]) })
+	out := t.Ops[:1]
+	for _, op := range t.Ops[1:] {
+		last := &out[len(out)-1]
+		if op.Table == last.Table && op.Key == last.Key {
+			if op.Mode == Write {
+				last.Mode = Write
+			}
+			continue
+		}
+		out = append(out, op)
+	}
+	t.Ops = out
+}
+
+// Declared reports whether (table,key) appears in Ops with a mode at least
+// as strong as mode.
+func (t *Txn) Declared(table int, key uint64, mode Mode) bool {
+	i := sort.Search(len(t.Ops), func(i int) bool {
+		return !t.Ops[i].Less(Op{Table: table, Key: key})
+	})
+	if i >= len(t.Ops) {
+		return false
+	}
+	op := t.Ops[i]
+	if op.Table != table || op.Key != key {
+		return false
+	}
+	return op.Mode == Write || mode == Read
+}
+
+// ResetScratch clears engine scratch fields before a (re)run.
+func (t *Txn) ResetScratch() {
+	t.Pending = 0
+	t.Owner = 0
+	t.Hops = t.Hops[:0]
+	t.TS = 0
+}

@@ -1,0 +1,131 @@
+package txn
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestModeConflicts(t *testing.T) {
+	if Read.Conflicts(Read) {
+		t.Fatal("R/R conflicts")
+	}
+	if !Read.Conflicts(Write) || !Write.Conflicts(Read) || !Write.Conflicts(Write) {
+		t.Fatal("write conflicts missing")
+	}
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("String")
+	}
+}
+
+func TestOpLess(t *testing.T) {
+	a := Op{Table: 0, Key: 5}
+	b := Op{Table: 0, Key: 6}
+	c := Op{Table: 1, Key: 0}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Fatal("ordering broken")
+	}
+	if a.Less(a) {
+		t.Fatal("irreflexivity broken")
+	}
+}
+
+func TestSortOpsDedup(t *testing.T) {
+	tx := &Txn{Ops: []Op{
+		{Table: 1, Key: 3, Mode: Read},
+		{Table: 0, Key: 9, Mode: Write},
+		{Table: 1, Key: 3, Mode: Write}, // dup of first, stronger mode
+		{Table: 0, Key: 9, Mode: Read},  // dup, weaker mode
+		{Table: 0, Key: 1, Mode: Read},
+	}}
+	tx.SortOps()
+	want := []Op{
+		{Table: 0, Key: 1, Mode: Read},
+		{Table: 0, Key: 9, Mode: Write},
+		{Table: 1, Key: 3, Mode: Write},
+	}
+	if len(tx.Ops) != len(want) {
+		t.Fatalf("Ops = %v", tx.Ops)
+	}
+	for i := range want {
+		if tx.Ops[i] != want[i] {
+			t.Fatalf("Ops[%d] = %v, want %v", i, tx.Ops[i], want[i])
+		}
+	}
+}
+
+func TestDeclared(t *testing.T) {
+	tx := &Txn{Ops: []Op{
+		{Table: 0, Key: 1, Mode: Read},
+		{Table: 0, Key: 2, Mode: Write},
+	}}
+	tx.SortOps()
+	if !tx.Declared(0, 1, Read) {
+		t.Fatal("read of declared read key not found")
+	}
+	if tx.Declared(0, 1, Write) {
+		t.Fatal("write allowed on read-declared key")
+	}
+	if !tx.Declared(0, 2, Read) || !tx.Declared(0, 2, Write) {
+		t.Fatal("write-declared key must satisfy both modes")
+	}
+	if tx.Declared(0, 3, Read) || tx.Declared(1, 1, Read) {
+		t.Fatal("undeclared key reported declared")
+	}
+}
+
+func TestResetScratch(t *testing.T) {
+	tx := &Txn{Pending: 3, Owner: 2, Hops: []int{1, 2}, TS: 99}
+	tx.ResetScratch()
+	if tx.Pending != 0 || tx.Owner != 0 || len(tx.Hops) != 0 || tx.TS != 0 {
+		t.Fatalf("scratch not cleared: %+v", tx)
+	}
+}
+
+// Property: SortOps output is sorted, duplicate-free, covers exactly the
+// distinct input keys, and Declared agrees with a naive scan.
+func TestSortOpsProperty(t *testing.T) {
+	f := func(raw []uint16, modes []bool) bool {
+		tx := &Txn{}
+		type tk struct {
+			tbl int
+			key uint64
+		}
+		strongest := map[tk]Mode{}
+		for i, k := range raw {
+			m := Read
+			if i < len(modes) && modes[i] {
+				m = Write
+			}
+			tbl := int(k % 3)
+			key := uint64(k / 3 % 50)
+			tx.Ops = append(tx.Ops, Op{Table: tbl, Key: key, Mode: m})
+			if m == Write || strongest[tk{tbl, key}] == Read {
+				if cur, ok := strongest[tk{tbl, key}]; !ok || (cur == Read && m == Write) {
+					strongest[tk{tbl, key}] = m
+				}
+			} else if _, ok := strongest[tk{tbl, key}]; !ok {
+				strongest[tk{tbl, key}] = m
+			}
+		}
+		tx.SortOps()
+		if len(tx.Ops) != len(strongest) {
+			return false
+		}
+		if !sort.SliceIsSorted(tx.Ops, func(i, j int) bool { return tx.Ops[i].Less(tx.Ops[j]) }) {
+			return false
+		}
+		for _, op := range tx.Ops {
+			if strongest[tk{op.Table, op.Key}] != op.Mode {
+				return false
+			}
+			if !tx.Declared(op.Table, op.Key, op.Mode) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/txn"
+)
+
+// Mixed generates transactions whose operations are individually reads or
+// read-modify-writes with a configurable ratio — the standard YCSB
+// workload mixes (A: 50/50, B: 95/5, C: 100/0). The paper's appendix uses
+// the pure endpoints (read-only and 10RMW); Mixed covers the interior so
+// shared-lock/exclusive-lock interaction is exercised too.
+type Mixed struct {
+	Table      int
+	NumRecords uint64
+	OpsPerTxn  int
+	// ReadPct is the per-operation probability (0..100) of a read.
+	ReadPct int
+	// HotRecords / HotOps as in YCSB.
+	HotRecords uint64
+	HotOps     int
+}
+
+// YCSBA returns the YCSB-A mix (50% reads, 50% updates).
+func YCSBA(table int, records uint64) *Mixed {
+	return &Mixed{Table: table, NumRecords: records, OpsPerTxn: 10, ReadPct: 50}
+}
+
+// YCSBB returns the YCSB-B mix (95% reads).
+func YCSBB(table int, records uint64) *Mixed {
+	return &Mixed{Table: table, NumRecords: records, OpsPerTxn: 10, ReadPct: 95}
+}
+
+// YCSBC returns the YCSB-C mix (read-only).
+func YCSBC(table int, records uint64) *Mixed {
+	return &Mixed{Table: table, NumRecords: records, OpsPerTxn: 10, ReadPct: 100}
+}
+
+// Validate checks configuration consistency.
+func (c *Mixed) Validate() error {
+	if c.OpsPerTxn <= 0 || c.NumRecords < uint64(c.OpsPerTxn) {
+		return fmt.Errorf("workload: bad Mixed size (%d ops, %d records)", c.OpsPerTxn, c.NumRecords)
+	}
+	if c.ReadPct < 0 || c.ReadPct > 100 {
+		return fmt.Errorf("workload: ReadPct %d out of range", c.ReadPct)
+	}
+	if c.HotRecords > c.NumRecords || (c.HotRecords > 0 && c.HotOps > c.OpsPerTxn) {
+		return fmt.Errorf("workload: bad hot-set configuration")
+	}
+	return nil
+}
+
+// Next implements Source.
+func (c *Mixed) Next(_ int, rng *rand.Rand) *txn.Txn {
+	hotOps := 0
+	if c.HotRecords > 0 {
+		hotOps = c.HotOps
+	}
+	ops := make([]txn.Op, 0, c.OpsPerTxn)
+	seen := make([]uint64, 0, c.OpsPerTxn)
+	for i := 0; i < c.OpsPerTxn; i++ {
+		lo, hi := c.HotRecords, c.NumRecords
+		if i < hotOps {
+			lo, hi = 0, c.HotRecords
+		}
+		var key uint64
+		for {
+			key = lo + uint64(rng.Int63n(int64(hi-lo)))
+			if !contains(seen, key) {
+				break
+			}
+		}
+		seen = append(seen, key)
+		mode := txn.Write
+		if rng.Intn(100) < c.ReadPct {
+			mode = txn.Read
+		}
+		ops = append(ops, txn.Op{Table: c.Table, Key: key, Mode: mode})
+	}
+	t := &txn.Txn{Ops: ops}
+	t.Logic = func(ctx txn.Ctx) error {
+		var sink uint64
+		for _, op := range t.Ops {
+			if op.Mode == txn.Read {
+				rec, err := ctx.Read(op.Table, op.Key)
+				if err != nil {
+					return err
+				}
+				sink += getU64(rec)
+			} else {
+				rec, err := ctx.Write(op.Table, op.Key)
+				if err != nil {
+					return err
+				}
+				putU64(rec, getU64(rec)+1)
+			}
+		}
+		if sink == ^uint64(0) {
+			return fmt.Errorf("workload: impossible checksum")
+		}
+		return nil
+	}
+	return t
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/txn"
+)
+
+func TestMixedValidate(t *testing.T) {
+	if err := YCSBA(0, 1000).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Mixed{
+		{NumRecords: 5, OpsPerTxn: 10},
+		{NumRecords: 100, OpsPerTxn: 10, ReadPct: 101},
+		{NumRecords: 100, OpsPerTxn: 10, ReadPct: -1},
+		{NumRecords: 100, OpsPerTxn: 10, HotRecords: 200},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMixedRatios(t *testing.T) {
+	rng := newRand()
+	cases := []struct {
+		src     *Mixed
+		minRead int
+		maxRead int
+	}{
+		{YCSBA(0, 10000), 4200, 5800},
+		{YCSBB(0, 10000), 9200, 9800},
+		{YCSBC(0, 10000), 10000, 10000},
+	}
+	for _, c := range cases {
+		reads := 0
+		for i := 0; i < 1000; i++ {
+			tx := c.src.Next(0, rng)
+			if len(tx.Ops) != 10 {
+				t.Fatalf("ops = %d", len(tx.Ops))
+			}
+			for _, op := range tx.Ops {
+				if op.Mode == txn.Read {
+					reads++
+				}
+			}
+		}
+		if reads < c.minRead || reads > c.maxRead {
+			t.Fatalf("ReadPct=%d produced %d/10000 reads", c.src.ReadPct, reads)
+		}
+	}
+}
+
+func TestMixedDistinctKeysAndHotPrefix(t *testing.T) {
+	src := &Mixed{NumRecords: 10000, OpsPerTxn: 10, ReadPct: 50, HotRecords: 64, HotOps: 2}
+	if err := src.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := newRand()
+	for i := 0; i < 300; i++ {
+		tx := src.Next(0, rng)
+		seen := map[uint64]bool{}
+		for j, op := range tx.Ops {
+			if seen[op.Key] {
+				t.Fatal("duplicate key")
+			}
+			seen[op.Key] = true
+			if j < 2 && op.Key >= 64 {
+				t.Fatal("hot prefix not hot")
+			}
+			if j >= 2 && op.Key < 64 {
+				t.Fatal("cold op in hot range")
+			}
+		}
+	}
+}
+
+func TestMixedLogicHandlesBothModes(t *testing.T) {
+	src := YCSBA(0, 1000)
+	rng := newRand()
+	ctx := &fakeCtx{store: map[uint64][]byte{}}
+	tx := src.Next(0, rng)
+	if err := tx.Logic(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.reads+ctx.writes != 10 {
+		t.Fatalf("reads=%d writes=%d", ctx.reads, ctx.writes)
+	}
+}

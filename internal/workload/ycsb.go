@@ -1,0 +1,260 @@
+// Package workload generates the YCSB-style transaction mixes used
+// throughout the paper's evaluation (§4.1-§4.3 and Appendix A):
+//
+//   - read-only transactions performing 10 reads;
+//   - 10-RMW transactions performing 10 read-modify-writes;
+//   - uniform key choice, or the hot/cold mix (2 records drawn from a
+//     small "hot" set, 8 from the large "cold" remainder) that controls
+//     contention;
+//   - partition-locality constraints: unconstrained ("random"), exactly-k
+//     partitions per transaction (Figure 6; "single" k=1 and "dual" k=2 in
+//     Appendix A), and mixed single/multi workloads (Figure 7).
+//
+// Hot ops are emitted before cold ops within each transaction, matching
+// the paper's note that "locks on two hot records are acquired before
+// locks on cold records".
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/txn"
+)
+
+// Source produces transactions for worker threads. Implementations must be
+// safe for concurrent calls with distinct rng values.
+type Source interface {
+	Next(thread int, rng *rand.Rand) *txn.Txn
+}
+
+// YCSB is the configurable generator.
+type YCSB struct {
+	// Table is the target table id.
+	Table int
+	// NumRecords is the table row count; keys are uniform over [0,NumRecords).
+	NumRecords uint64
+	// OpsPerTxn is the access count per transaction (paper: 10).
+	OpsPerTxn int
+	// ReadOnly selects 10-read transactions instead of 10-RMW.
+	ReadOnly bool
+	// HotRecords is the hot-set size; 0 means uniform (no hot set).
+	// Hot keys are [0,HotRecords), cold keys are [HotRecords,NumRecords).
+	HotRecords uint64
+	// HotOps is how many of the transaction's accesses hit the hot set
+	// (paper: 2). Ignored when HotRecords is 0.
+	HotOps int
+	// Partitions is the engine's partition count (CC threads for ORTHRUS,
+	// physical partitions for Partitioned-store). Required when Spread>0.
+	Partitions int
+	// Spread constrains each transaction's footprint to exactly Spread
+	// distinct partitions. 0 leaves keys unconstrained ("random").
+	Spread int
+	// MultiPartitionPct, when Spread >= 2, makes only this percentage of
+	// transactions span Spread partitions; the rest are single-partition
+	// (Figure 7). 100 means every transaction spans Spread partitions.
+	MultiPartitionPct int
+	// WorkPerOp adds a busy loop of this many iterations per record access
+	// to model record-processing cost beyond the raw memory touch.
+	WorkPerOp int
+}
+
+// Validate checks configuration consistency.
+func (c *YCSB) Validate() error {
+	if c.OpsPerTxn <= 0 {
+		return fmt.Errorf("workload: OpsPerTxn must be positive")
+	}
+	if c.NumRecords < uint64(c.OpsPerTxn) {
+		return fmt.Errorf("workload: NumRecords %d < OpsPerTxn %d", c.NumRecords, c.OpsPerTxn)
+	}
+	if c.HotRecords > c.NumRecords {
+		return fmt.Errorf("workload: HotRecords %d > NumRecords %d", c.HotRecords, c.NumRecords)
+	}
+	if c.HotRecords > 0 && c.HotOps > c.OpsPerTxn {
+		return fmt.Errorf("workload: HotOps %d > OpsPerTxn %d", c.HotOps, c.OpsPerTxn)
+	}
+	if c.Spread > 0 {
+		if c.Partitions <= 0 {
+			return fmt.Errorf("workload: Spread set but Partitions is 0")
+		}
+		if c.Spread > c.Partitions {
+			return fmt.Errorf("workload: Spread %d > Partitions %d", c.Spread, c.Partitions)
+		}
+		if c.Spread > c.OpsPerTxn {
+			return fmt.Errorf("workload: Spread %d > OpsPerTxn %d", c.Spread, c.OpsPerTxn)
+		}
+		if c.MultiPartitionPct < 0 || c.MultiPartitionPct > 100 {
+			return fmt.Errorf("workload: MultiPartitionPct %d out of range", c.MultiPartitionPct)
+		}
+	}
+	return nil
+}
+
+// Next implements Source.
+func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
+	spread := c.Spread
+	if spread >= 2 && c.MultiPartitionPct < 100 && rng.Intn(100) >= c.MultiPartitionPct {
+		spread = 1
+	}
+
+	var parts []int
+	if spread > 0 {
+		parts = pickDistinctInts(rng, spread, c.Partitions)
+	}
+
+	mode := txn.Write
+	if c.ReadOnly {
+		mode = txn.Read
+	}
+	hotOps := 0
+	if c.HotRecords > 0 {
+		hotOps = c.HotOps
+	}
+
+	ops := make([]txn.Op, 0, c.OpsPerTxn)
+	seen := make([]uint64, 0, c.OpsPerTxn)
+	for i := 0; i < c.OpsPerTxn; i++ {
+		var part = -1
+		if parts != nil {
+			part = parts[i%len(parts)]
+		}
+		lo, hi := c.HotRecords, c.NumRecords // cold range
+		if i < hotOps {
+			lo, hi = 0, c.HotRecords
+		}
+		key, ok := c.pickKey(rng, part, lo, hi, seen)
+		if !ok && i < hotOps {
+			// Partition-constrained hot pick exhausted (tiny hot set split
+			// across many partitions): fall back to this partition's cold
+			// range so the transaction still has OpsPerTxn distinct keys.
+			key, ok = c.pickKey(rng, part, c.HotRecords, c.NumRecords, seen)
+		}
+		if !ok {
+			// Cold range within the partition exhausted (only plausible in
+			// tiny test tables): widen to any partition.
+			key, _ = c.pickKey(rng, -1, 0, c.NumRecords, seen)
+		}
+		seen = append(seen, key)
+		ops = append(ops, txn.Op{Table: c.Table, Key: key, Mode: mode})
+	}
+
+	t := &txn.Txn{Ops: ops, Partitions: parts}
+	t.Logic = c.logic(t)
+	return t
+}
+
+// pickKey draws a key from [lo,hi) not already in seen; when part >= 0 the
+// key must live in that partition (key mod Partitions == part).
+func (c *YCSB) pickKey(rng *rand.Rand, part int, lo, hi uint64, seen []uint64) (uint64, bool) {
+	if hi <= lo {
+		return 0, false
+	}
+	var n, base, stride uint64
+	if part < 0 {
+		base, stride = lo, 1
+		n = hi - lo
+	} else {
+		stride = uint64(c.Partitions)
+		p := uint64(part)
+		// First key >= lo congruent to part.
+		base = lo + ((p + stride - lo%stride) % stride)
+		if base >= hi {
+			return 0, false
+		}
+		n = (hi - base + stride - 1) / stride
+	}
+	// Random probes, then a deterministic sweep if the candidate space is
+	// nearly exhausted by seen keys.
+	for try := 0; try < 16; try++ {
+		key := base + uint64(rng.Int63n(int64(n)))*stride
+		if !contains(seen, key) {
+			return key, true
+		}
+	}
+	start := uint64(rng.Int63n(int64(n)))
+	for i := uint64(0); i < n; i++ {
+		key := base + ((start+i)%n)*stride
+		if !contains(seen, key) {
+			return key, true
+		}
+	}
+	return 0, false
+}
+
+func contains(s []uint64, v uint64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func pickDistinctInts(rng *rand.Rand, k, n int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := rng.Intn(n)
+		dup := false
+		for _, x := range out {
+			if x == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// logic returns the transaction body: reads checksum the first word of the
+// record; RMWs additionally increment a counter in the record, so every
+// committed RMW is observable (used by the serializability tests).
+func (c *YCSB) logic(t *txn.Txn) txn.Logic {
+	work := c.WorkPerOp
+	return func(ctx txn.Ctx) error {
+		var sink uint64
+		for _, op := range t.Ops {
+			if op.Mode == txn.Read {
+				rec, err := ctx.Read(op.Table, op.Key)
+				if err != nil {
+					return err
+				}
+				sink += getU64(rec)
+			} else {
+				rec, err := ctx.Write(op.Table, op.Key)
+				if err != nil {
+					return err
+				}
+				putU64(rec, getU64(rec)+1)
+			}
+			for i := 0; i < work; i++ {
+				sink += uint64(i)
+			}
+		}
+		if sink == ^uint64(0) { // defeat dead-code elimination
+			return fmt.Errorf("workload: impossible checksum")
+		}
+		return nil
+	}
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}

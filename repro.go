@@ -1,0 +1,224 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Kun Ren, Jose M. Faleiro, Daniel J. Abadi.
+//	"Design Principles for Scaling Multi-core OLTP Under High Contention."
+//	SIGMOD 2016 (arXiv:1512.06168).
+//
+// It provides the paper's system — ORTHRUS, a transaction manager that
+// partitions concurrency-control and execution functionality across
+// threads communicating by message passing, with planned data access for
+// deadlock freedom — together with every baseline and substrate the
+// paper's evaluation depends on:
+//
+//   - conventional two-phase locking with three dynamic deadlock handlers
+//     (wait-die, wait-for graph, Dreadlocks);
+//   - Deadlock-free ordered locking (planned access on a shared table);
+//   - an H-Store-style Partitioned-store;
+//   - an in-memory storage engine, YCSB-style workload generators, and a
+//     five-transaction TPC-C implementation.
+//
+// This root package is the public facade: it re-exports the library's
+// types and constructors so downstream users never import internal
+// packages (which the Go toolchain would refuse anyway). The examples/
+// directory exercises exactly this surface.
+//
+// # Quick start
+//
+//	db := repro.NewDB()
+//	tbl := db.Create(repro.Layout{Name: "accounts", NumRecords: 1 << 20, RecordSize: 100})
+//	eng := repro.NewOrthrus(repro.OrthrusConfig{DB: db, CCThreads: 4, ExecThreads: 12})
+//	src := &repro.YCSB{Table: tbl, NumRecords: 1 << 20, OpsPerTxn: 10, HotRecords: 64, HotOps: 2}
+//	res := eng.Run(src, 2*time.Second)
+//	fmt.Println(res)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of every figure in the paper's evaluation.
+package repro
+
+import (
+	"time"
+
+	"repro/internal/deadlock"
+	"repro/internal/engine"
+	"repro/internal/engine/dlfree"
+	"repro/internal/engine/twopl"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/orthrus"
+	"repro/internal/partstore"
+	"repro/internal/storage"
+	"repro/internal/tpcc"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// --- storage --------------------------------------------------------------
+
+// DB is an in-memory database: a registry of tables and secondary indexes.
+type DB = storage.DB
+
+// Layout describes a table to create.
+type Layout = storage.Layout
+
+// Table is the storage access interface.
+type Table = storage.Table
+
+// SecondaryIndex maps secondary keys to sorted primary-key posting lists.
+type SecondaryIndex = storage.SecondaryIndex
+
+// NewDB returns an empty database.
+func NewDB() *DB { return storage.NewDB() }
+
+// NewSecondaryIndex returns an empty secondary index.
+func NewSecondaryIndex() *SecondaryIndex { return storage.NewSecondaryIndex() }
+
+// Fixed-width record field helpers.
+var (
+	GetU64 = storage.GetU64
+	PutU64 = storage.PutU64
+	GetI64 = storage.GetI64
+	PutI64 = storage.PutI64
+	AddU64 = storage.AddU64
+	AddI64 = storage.AddI64
+)
+
+// --- transactions -----------------------------------------------------------
+
+// Txn is one transaction: a declared access set plus a logic closure.
+type Txn = txn.Txn
+
+// Op names one record in a transaction's declared access set.
+type Op = txn.Op
+
+// Ctx is the engine-supplied access context transaction logic runs against.
+type Ctx = txn.Ctx
+
+// Mode is a record access mode.
+type Mode = txn.Mode
+
+// Access modes.
+const (
+	Read  = txn.Read
+	Write = txn.Write
+)
+
+// PartitionFunc maps records to partitions (ORTHRUS CC threads,
+// Partitioned-store partitions).
+type PartitionFunc = txn.PartitionFunc
+
+// HashPartitioner spreads keys round-robin over n partitions.
+func HashPartitioner(n int) PartitionFunc { return txn.HashPartitioner(n) }
+
+// ErrAborted is returned through Ctx when a deadlock handler victimizes
+// the transaction; ErrEstimateMiss when an OLLP access estimate was wrong.
+var (
+	ErrAborted      = txn.ErrAborted
+	ErrEstimateMiss = txn.ErrEstimateMiss
+)
+
+// --- engines ----------------------------------------------------------------
+
+// Engine runs workloads for a fixed duration and reports metrics. All six
+// systems (ORTHRUS and its variants, 2PL with each handler, Deadlock-free,
+// Partitioned-store) implement it.
+type Engine = engine.Engine
+
+// Result is a timed run's outcome; Result.Throughput() is committed
+// transactions per second.
+type Result = metrics.Result
+
+// OrthrusConfig configures the paper's system (see internal/orthrus docs).
+type OrthrusConfig = orthrus.Config
+
+// NewOrthrus builds an ORTHRUS engine.
+func NewOrthrus(cfg OrthrusConfig) Engine { return orthrus.New(cfg) }
+
+// AutotuneOrthrus probes candidate CC/exec splits for a total thread
+// budget against the given workload and returns the best configuration
+// (the paper's §4.2 allocation trade-off, resolved empirically; see
+// internal/orthrus Autotune docs for caveats).
+func AutotuneOrthrus(db *DB, totalThreads int, pf PartitionFunc, src Source, probe time.Duration) OrthrusConfig {
+	return orthrus.Autotune(db, totalThreads, pf, src, probe)
+}
+
+// TwoPLConfig configures conventional dynamic two-phase locking.
+type TwoPLConfig = twopl.Config
+
+// NewTwoPL builds a 2PL engine with the given deadlock handler.
+func NewTwoPL(cfg TwoPLConfig) Engine { return twopl.New(cfg) }
+
+// DeadlockFreeConfig configures ordered-acquisition locking.
+type DeadlockFreeConfig = dlfree.Config
+
+// NewDeadlockFree builds the Deadlock-free locking engine.
+func NewDeadlockFree(cfg DeadlockFreeConfig) Engine { return dlfree.New(cfg) }
+
+// PartitionedStoreConfig configures the H-Store-style baseline.
+type PartitionedStoreConfig = partstore.Config
+
+// NewPartitionedStore builds the Partitioned-store engine.
+func NewPartitionedStore(cfg PartitionedStoreConfig) Engine { return partstore.New(cfg) }
+
+// Handler is a pluggable 2PL deadlock policy.
+type Handler = lock.Handler
+
+// WaitDie returns the timestamp-based wait-die policy.
+func WaitDie() Handler { return deadlock.WaitDie{} }
+
+// WaitForGraph returns the partitioned waits-for-graph policy for nthreads
+// worker threads.
+func WaitForGraph(nthreads int) Handler { return deadlock.NewWaitForGraph(nthreads) }
+
+// Dreadlocks returns the digest-based policy for nthreads worker threads.
+func Dreadlocks(nthreads int) Handler { return deadlock.NewDreadlocks(nthreads) }
+
+// NoWait returns the abort-on-any-conflict policy (extension beyond the
+// paper's lineup; see internal/deadlock).
+func NoWait() Handler { return deadlock.NoWait{} }
+
+// WoundWait returns the wound-wait policy for nthreads worker threads
+// (extension beyond the paper's lineup; older requesters abort younger
+// holders instead of waiting).
+func WoundWait(nthreads int) Handler { return deadlock.NewWoundWait(nthreads) }
+
+// --- workloads ---------------------------------------------------------------
+
+// Source produces transactions for worker threads.
+type Source = workload.Source
+
+// YCSB is the configurable YCSB-style generator (read-only or RMW,
+// hot/cold contention, partition-locality constraints).
+type YCSB = workload.YCSB
+
+// Transfer is the balance-conservation workload used for isolation
+// testing.
+type Transfer = workload.Transfer
+
+// Zipf draws keys from a Zipfian distribution.
+type Zipf = workload.Zipf
+
+// --- TPC-C --------------------------------------------------------------------
+
+// TPCCConfig sizes a TPC-C database.
+type TPCCConfig = tpcc.Config
+
+// TPCCSchema is a loaded TPC-C database (tables, keys, generators).
+type TPCCSchema = tpcc.Schema
+
+// TPCCMix is the weighted TPC-C transaction source (paper default:
+// 50% NewOrder / 50% Payment).
+type TPCCMix = tpcc.Mix
+
+// LoadTPCC builds and populates a TPC-C database.
+func LoadTPCC(cfg TPCCConfig) (*TPCCSchema, error) { return tpcc.Load(cfg) }
+
+// Mixed generates per-operation read/update mixes (the standard YCSB
+// A/B/C shapes); see the preset constructors below.
+type Mixed = workload.Mixed
+
+// YCSB preset mixes: A (50% reads), B (95% reads), C (read-only).
+var (
+	YCSBMixA = workload.YCSBA
+	YCSBMixB = workload.YCSBB
+	YCSBMixC = workload.YCSBC
+)
