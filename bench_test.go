@@ -14,7 +14,7 @@ import (
 // produces a row per (figure, system) pair. The full parameter sweeps —
 // every axis value of every figure — live in cmd/orthrus-bench; these
 // benchmarks pin the headline comparisons. Thread counts are logical
-// (DESIGN.md §3) and sized for a small machine; raise benchDuration and
+// (README.md "Scale and fidelity") and sized for a small machine; raise benchDuration and
 // the table sizes for a closer match to the paper's configuration.
 
 // benchRecords is the YCSB table size (paper: 10M; scaled for CI).
@@ -288,7 +288,7 @@ func BenchmarkFig12RMW(b *testing.B) {
 	b.Run("high", func(b *testing.B) { benchYCSBScal(b, false, 64) })
 }
 
-// --- ablation benches (design choices called out in DESIGN.md §6) -----------
+// --- ablation benches (design choices called out in README.md "Ablations") -----------
 
 // BenchmarkAblationTransport compares the SPSC-ring message plane against
 // buffered Go channels at identical configuration.

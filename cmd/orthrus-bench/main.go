@@ -7,7 +7,7 @@
 //	orthrus-bench -experiment all -duration 1s -records 1000000 -threads 80
 //
 // Each experiment prints the same series the corresponding paper figure
-// plots; see EXPERIMENTS.md for the expected shapes and the recorded
+// plots; see README.md "Regenerating the paper's figures" for the expected shapes and
 // paper-vs-measured comparison.
 package main
 

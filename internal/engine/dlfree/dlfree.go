@@ -16,8 +16,6 @@ package dlfree
 import (
 	"errors"
 	"fmt"
-	"math/rand"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/deadlock"
@@ -39,7 +37,7 @@ type Config struct {
 	// concurrency-control behaviour is identical (shared lock table); the
 	// paper's split variant partitions *indexes* for cache locality, a
 	// physical effect outside this reproduction's reach, so the flag only
-	// changes the reported name. See DESIGN.md §3.
+	// changes the reported name. See README.md "Scale and fidelity".
 	Split bool
 }
 
@@ -69,89 +67,103 @@ func (e *Engine) Name() string {
 	return fmt.Sprintf("dlfree(%dt)", e.cfg.Threads)
 }
 
-// Run implements engine.Engine.
+// Run implements engine.Engine via the shared closed-loop driver.
 func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result {
-	set := metrics.NewSet(e.cfg.Threads)
-	elapsed := engine.RunWorkers(e.cfg.Threads, duration, func(thread int, stop *atomic.Bool) {
-		e.worker(thread, stop, src, set.Thread(thread))
-	})
-	return metrics.Result{System: e.Name(), Totals: set.Totals(), Duration: elapsed}
+	return engine.RunClosedLoop(e, src, duration)
 }
 
-func (e *Engine) worker(thread int, stop *atomic.Bool, src workload.Source, stats *metrics.ThreadStats) {
-	rng := rand.New(rand.NewSource(int64(thread)*104729 + 1))
-	ids := engine.NewIDSource(thread)
-	ctx := &engine.PlannedCtx{DB: e.cfg.DB}
-	var fl lock.Freelist
-	held := make([]*lock.Request, 0, 32)
+// Start implements engine.Runtime.
+func (e *Engine) Start() engine.Session {
+	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(),
+		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
+			w := &dlfreeWorker{
+				eng:    e,
+				thread: thread,
+				ids:    engine.NewIDSource(thread),
+				ctx:    engine.PlannedCtx{DB: e.cfg.DB},
+				held:   make([]*lock.Request, 0, 32),
+			}
+			return func(t *txn.Txn) bool {
+				w.execute(t, stats)
+				return true
+			}
+		})
+}
 
-	for !stop.Load() {
-		t := src.Next(thread, rng)
-		t.ID = ids.Next()
-		txStart := time.Now()
-		for {
-			t.SortOps()
+// Clients implements engine.Runtime.
+func (e *Engine) Clients() int { return 2 * e.cfg.Threads }
 
-			// Phase 1: acquire every declared lock in global key order.
-			lockStart := time.Now()
-			var waited time.Duration
-			held = held[:0]
-			for _, op := range t.Ops {
-				r := fl.Get(t.ID, 0, thread)
-				w, err := e.table.Acquire(r, op.Table, op.Key, op.Mode)
-				waited += w
-				if err != nil {
-					// Block handler never aborts.
-					panic(fmt.Sprintf("dlfree: unexpected acquire error: %v", err))
-				}
-				held = append(held, r)
-			}
-			locked := time.Since(lockStart) - waited
+// dlfreeWorker is one worker's reusable execution state.
+type dlfreeWorker struct {
+	eng    *Engine
+	thread int
+	ids    *engine.IDSource
+	ctx    engine.PlannedCtx
+	fl     lock.Freelist
+	held   []*lock.Request
+}
 
-			// Phase 2: run logic with locking settled.
-			execStart := time.Now()
-			ctx.Begin(t)
-			err := t.Logic(ctx)
-			execDur := time.Since(execStart)
+// execute runs one transaction to commit, re-planning on OLLP misses.
+func (w *dlfreeWorker) execute(t *txn.Txn, stats *metrics.ThreadStats) {
+	e := w.eng
+	t.ID = w.ids.Next()
+	for {
+		t.SortOps()
 
-			// Phase 3: release in reverse order.
-			relStart := time.Now()
-			if err == nil {
-				ctx.Commit()
-			} else {
-				ctx.Abort()
+		// Phase 1: acquire every declared lock in global key order.
+		// Chained timestamps: each phase boundary is read once.
+		t0 := time.Now()
+		var waited time.Duration
+		held := w.held[:0]
+		for _, op := range t.Ops {
+			r := w.fl.Get(t.ID, 0, w.thread)
+			wt, err := e.table.Acquire(r, op.Table, op.Key, op.Mode)
+			waited += wt
+			if err != nil {
+				// Block handler never aborts.
+				panic(fmt.Sprintf("dlfree: unexpected acquire error: %v", err))
 			}
-			for i := len(held) - 1; i >= 0; i-- {
-				e.table.Release(held[i])
-				fl.Put(held[i])
-			}
-			held = held[:0]
-			locked += time.Since(relStart)
-
-			stats.AddWait(waited)
-			stats.AddLock(locked)
-			stats.AddExec(execDur)
-
-			if err == nil {
-				stats.Committed++
-				stats.Latency.Record(time.Since(txStart))
-				break
-			}
-			if !errors.Is(err, txn.ErrEstimateMiss) {
-				panic(fmt.Sprintf("dlfree: transaction logic failed: %v", err))
-			}
-			// OLLP estimate miss: re-plan and retry (paper §3.2).
-			stats.Aborted++
-			stats.Misses++
-			if t.Replan == nil {
-				panic("dlfree: estimate miss without Replan hook")
-			}
-			t.Replan(t)
-			if stop.Load() {
-				break
-			}
+			held = append(held, r)
 		}
+		t1 := time.Now()
+
+		// Phase 2: run logic with locking settled.
+		w.ctx.Begin(t)
+		err := t.Logic(&w.ctx)
+		t2 := time.Now()
+
+		// Phase 3: release in reverse order.
+		if err == nil {
+			w.ctx.Commit()
+		} else {
+			w.ctx.Abort()
+		}
+		for i := len(held) - 1; i >= 0; i-- {
+			e.table.Release(held[i])
+			w.fl.Put(held[i])
+		}
+		w.held = held[:0]
+		t3 := time.Now()
+
+		stats.AddWait(waited)
+		stats.AddLock(t1.Sub(t0) - waited + t3.Sub(t2))
+		stats.AddExec(t2.Sub(t1))
+
+		if err == nil {
+			stats.Committed++
+			return
+		}
+		if !errors.Is(err, txn.ErrEstimateMiss) {
+			panic(fmt.Sprintf("dlfree: transaction logic failed: %v", err))
+		}
+		// OLLP estimate miss: re-plan and retry (paper §3.2).
+		stats.Aborted++
+		stats.Misses++
+		if t.Replan == nil {
+			panic("dlfree: estimate miss without Replan hook")
+		}
+		t.Replan(t)
 	}
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var _ engine.System = (*Engine)(nil)

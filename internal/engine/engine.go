@@ -1,7 +1,17 @@
-// Package engine defines the interface every system implements (ORTHRUS,
+// Package engine defines the interfaces every system implements (ORTHRUS,
 // 2PL with each deadlock handler, Deadlock-free locking, Partitioned-
-// store) plus machinery they share: the closed-loop worker runner, undo
-// logging for in-place writes, and per-thread transaction identities.
+// store) plus machinery they share: the Runtime/Session service lifecycle
+// and its generic load drivers, undo logging for in-place writes, and
+// per-thread transaction identities.
+//
+// Engines expose two surfaces. Runtime/Session (runtime.go) is the
+// long-lived serving lifecycle: Start the engine's threads once, Submit
+// transactions from any caller, observe per-transaction completion, Drain
+// and Close. Engine is the legacy one-shot benchmarking surface; its
+// Run(src, duration) is implemented exactly once, by the shared
+// closed-loop driver RunClosedLoop over Runtime. RunOpenLoop is the
+// second driver: Poisson arrivals at a fixed rate, measuring commit
+// latency under offered — not self-regulated — load.
 //
 // Every engine runs the same workload Sources against the same storage.DB,
 // so measured differences come from concurrency control alone — the
@@ -28,10 +38,18 @@ type Engine interface {
 	Run(src workload.Source, duration time.Duration) metrics.Result
 }
 
+// System is the full surface every engine in the repository implements:
+// the one-shot benchmark contract plus the service lifecycle.
+type System interface {
+	Engine
+	Runtime
+}
+
 // RunWorkers starts n workers, lets them run for duration, then signals
 // stop and waits for them to drain. It returns the measured elapsed time
 // (from start until the last worker exits, which includes drain time for
-// in-flight transactions).
+// in-flight transactions). The closed-loop driver uses it to run its
+// submitter goroutines.
 func RunWorkers(n int, duration time.Duration, worker func(thread int, stop *atomic.Bool)) time.Duration {
 	var stop atomic.Bool
 	var wg sync.WaitGroup

@@ -1,0 +1,350 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// Runtime is the service-style lifecycle every system implements: the
+// engine's threads are started once and then serve transactions submitted
+// by outside callers, instead of self-generating closed-loop load. The
+// benchmark drivers below (RunClosedLoop, RunOpenLoop) are ordinary
+// Runtime clients; a network server would be another.
+type Runtime interface {
+	// Name identifies the system in harness output.
+	Name() string
+	// Start launches the engine's threads and returns a live Session.
+	// One live session per engine at a time.
+	Start() Session
+	// Clients returns the natural closed-loop concurrency: the number of
+	// submitters (each with one transaction outstanding) that saturates
+	// the engine's workers without starving or drowning them.
+	Clients() int
+}
+
+// Session accepts transactions for a started Runtime.
+//
+// Submissions are executed to completion — an engine retries aborted
+// transactions until they commit (or, for 2PL with MaxRetries, gives up) —
+// and the completion callback fires exactly once per submission. Submit
+// may block for backpressure when the engine's input queue is full. No
+// Submit may be issued concurrently with or after Close.
+//
+// The latency histogram in the session's Result records service latency:
+// from the moment an engine worker picks the transaction up to its
+// commit, retries included — the same quantity the engines measured
+// before the Runtime split, so cross-engine comparisons are unaffected
+// by driver-side queueing. Callers who want request latency (queueing
+// included) measure at the completion callback, as RunOpenLoop does.
+type Session interface {
+	// Submit hands t to the engine. done, if non-nil, is invoked exactly
+	// once from an engine worker thread when t completes; committed
+	// reports whether it committed (false only for engines that can give
+	// up, e.g. 2PL past MaxRetries). The callback must be cheap and must
+	// not block, or it will stall the worker.
+	Submit(t *txn.Txn, done func(committed bool))
+	// Drain blocks until every submitted transaction has completed.
+	Drain()
+	// Close drains, stops the engine's threads, and returns the session's
+	// aggregated metrics. The session is dead afterwards; the Runtime may
+	// be started again.
+	Close() metrics.Result
+}
+
+// Submission is one queued transaction: the unit engine workers consume.
+type Submission struct {
+	Txn  *txn.Txn
+	Done func(committed bool) // completion callback; may be nil
+}
+
+// Gauge counts in-flight submissions. Add/Done are single atomics so they
+// add no contention to the per-transaction hot path; Wait polls, which is
+// plenty for drain/shutdown precision.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Add registers d new in-flight items.
+func (g *Gauge) Add(d int) { g.n.Add(int64(d)) }
+
+// Done retires one in-flight item.
+func (g *Gauge) Done() { g.n.Add(-1) }
+
+// Wait blocks until the gauge reaches zero.
+func (g *Gauge) Wait() {
+	for g.n.Load() != 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// WorkerSession is the shared Session implementation for the synchronous
+// engines (2PL, Deadlock-free, Partitioned-store): n workers poll a
+// lock-free submission queue and run each transaction to completion
+// inline. Engines supply only the per-worker execution closure — the
+// queueing, completion notification, latency accounting and lifecycle
+// are defined once here.
+type WorkerSession struct {
+	name     string
+	set      *metrics.Set
+	queue    *mpmc
+	inflight Gauge
+	stop     atomic.Bool
+	wg       sync.WaitGroup
+	start    time.Time
+}
+
+// NewWorkerSession starts n workers. newWorker builds each worker's
+// execution closure (per-worker contexts, freelists, id sources live in
+// the closure); the closure runs one submission to completion and reports
+// whether it committed. Commit latency is recorded here, once per commit,
+// against the executing worker's stats.
+func NewWorkerSession(name string, workers, queueCap int,
+	newWorker func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool) *WorkerSession {
+	s := &WorkerSession{
+		name:  name,
+		set:   metrics.NewSet(workers),
+		queue: newMPMC(queueCap),
+		start: time.Now(),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go func(i int) {
+			defer s.wg.Done()
+			stats := s.set.Thread(i)
+			exec := newWorker(i, stats)
+			var idle IdleWaiter
+			for {
+				sub, ok := s.queue.tryDequeue()
+				if !ok {
+					// Close drains all submissions before setting stop,
+					// so an empty queue after stop is final.
+					if s.stop.Load() {
+						return
+					}
+					idle.Wait()
+					continue
+				}
+				idle.Reset()
+				start := time.Now()
+				committed := exec(sub.Txn)
+				if committed {
+					stats.Latency.Record(time.Since(start))
+				}
+				if sub.Done != nil {
+					sub.Done(committed)
+				}
+				s.inflight.Done()
+			}
+		}(i)
+	}
+	return s
+}
+
+// Submit implements Session. It spins politely when the queue is full —
+// backpressure from saturated workers.
+func (s *WorkerSession) Submit(t *txn.Txn, done func(committed bool)) {
+	s.inflight.Add(1)
+	sub := Submission{Txn: t, Done: done}
+	var idle IdleWaiter
+	for !s.queue.tryEnqueue(sub) {
+		idle.Wait()
+	}
+}
+
+// Drain implements Session.
+func (s *WorkerSession) Drain() { s.inflight.Wait() }
+
+// Close implements Session.
+func (s *WorkerSession) Close() metrics.Result {
+	s.inflight.Wait()
+	s.stop.Store(true)
+	s.wg.Wait()
+	return metrics.Result{System: s.name, Totals: s.set.Totals(), Duration: time.Since(s.start)}
+}
+
+var _ Session = (*WorkerSession)(nil)
+
+// clientWindow is each closed-loop client's pipeline depth. Completions
+// are acknowledged with a single atomic increment and clients replenish
+// whole windows at a time, so the per-transaction cost a client adds to
+// the engine's workers is one channel send and one atomic — no parking,
+// no per-transaction scheduler round-trip (which would dominate on
+// few-core machines).
+const clientWindow = 16
+
+// RunClosedLoop drives rt with self-generated closed-loop load for
+// roughly the given duration, keeping exactly rt.Clients() transactions
+// outstanding across a pool of pipelined submitter goroutines (the last
+// client takes the remainder window, so the engine's declared saturation
+// point is honored, not rounded up). This is the single implementation
+// behind every engine's Engine.Run.
+func RunClosedLoop(rt Runtime, src workload.Source, duration time.Duration) metrics.Result {
+	ses := rt.Start()
+	outstanding := rt.Clients()
+	clients := (outstanding + clientWindow - 1) / clientWindow
+	RunWorkers(clients, duration, func(client int, stop *atomic.Bool) {
+		window := clientWindow
+		if rem := outstanding - client*clientWindow; rem < window {
+			window = rem
+		}
+		rng := rand.New(rand.NewSource(int64(client)*2654435761 + 99991))
+		var completed atomic.Int64
+		var waiting atomic.Bool
+		wake := make(chan struct{}, 1)
+		notify := func(bool) {
+			completed.Add(1)
+			// Acknowledge-count first, then check the parked flag: the
+			// client re-checks the count after raising the flag, so under
+			// sequentially consistent atomics one side always observes the
+			// other — a wakeup cannot be lost (a stale token only causes a
+			// harmless spurious wake).
+			if waiting.Load() {
+				select {
+				case wake <- struct{}{}:
+				default:
+				}
+			}
+		}
+		var submitted int64
+		full := func() bool { return submitted-completed.Load() >= int64(window) }
+		for {
+			for !full() && !stop.Load() {
+				ses.Submit(src.Next(client, rng), notify)
+				submitted++
+			}
+			if stop.Load() {
+				break
+			}
+			// Window full: spin briefly (completions are normally
+			// microseconds away), then park so waiting clients do not
+			// steal scheduler passes from the engine's threads.
+			for spins := 0; full(); spins++ {
+				if spins < 16 {
+					runtime.Gosched()
+					continue
+				}
+				waiting.Store(true)
+				if full() {
+					<-wake
+				}
+				waiting.Store(false)
+			}
+		}
+		for completed.Load() < submitted {
+			runtime.Gosched()
+		}
+	})
+	return ses.Close()
+}
+
+// OpenLoopResult reports an open-loop run: engine-side totals plus the
+// driver-side latency histogram, measured from each transaction's
+// scheduled arrival time — so when the system falls behind the offered
+// rate, the backlog shows up as latency rather than being coordinated
+// away (the usual open-loop discipline).
+type OpenLoopResult struct {
+	metrics.Result
+	// TargetRate is the offered Poisson arrival rate (txns/sec).
+	TargetRate float64
+	// Submitted counts transactions offered (all complete before the
+	// result is returned).
+	Submitted uint64
+	// Latency is scheduled-arrival-to-commit latency over committed
+	// transactions only — submissions an engine gave up on (2PL past
+	// MaxRetries) complete without contributing a sample, so
+	// Latency.Count() can be below Submitted.
+	Latency metrics.Histogram
+	// MaxLag is the largest distance the generator itself fell behind
+	// its arrival timeline (engine backpressure or generation cost). A
+	// MaxLag comparable to the reported percentiles means the driver,
+	// not the engine, set them — raise the window or lower the rate.
+	MaxLag time.Duration
+}
+
+// AchievedRate returns completed transactions per second of wall time.
+func (r OpenLoopResult) AchievedRate() float64 { return r.Result.Throughput() }
+
+// RunOpenLoop drives rt with Poisson arrivals at rate transactions per
+// second for roughly the given duration and reports commit-latency
+// percentiles. Arrivals are generated on a single timeline goroutine:
+// each transaction is generated ahead of its arrival (during the
+// inter-arrival gap, off the latency-critical path) and submitted at
+// its scheduled instant; when the engine exerts backpressure the
+// generator falls behind and subsequent transactions go out late but
+// are measured from their scheduled arrival, so queueing delay is
+// charged to latency. MaxLag reports how far the generator itself
+// trailed the timeline — the honesty check on single-goroutine
+// generation at high rates.
+func RunOpenLoop(rt Runtime, src workload.Source, rate float64, duration time.Duration) OpenLoopResult {
+	if rate <= 0 {
+		panic("engine: open-loop rate must be positive")
+	}
+	ses := rt.Start()
+	// Completion callbacks run on engine worker threads inside the
+	// measured commit path, so recording is sharded across independently
+	// locked histograms (assigned round-robin at submit time) instead of
+	// serializing every worker on one mutex; shards merge after Drain.
+	type latShard struct {
+		mu sync.Mutex
+		h  metrics.Histogram
+		_  [64]byte
+	}
+	shards := make([]latShard, 16)
+	var (
+		submitted uint64
+		maxLag    time.Duration
+	)
+	rng := rand.New(rand.NewSource(7_654_321))
+	start := time.Now()
+	next := start
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if next.Sub(start) >= duration {
+			break
+		}
+		t := src.Next(0, rng) // generate during the gap, before the deadline
+		if d := time.Until(next); d > 0 {
+			sleep(d)
+		} else if lag := -d; lag > maxLag {
+			maxLag = lag
+		}
+		sched := next
+		shard := &shards[submitted%uint64(len(shards))]
+		submitted++
+		ses.Submit(t, func(committed bool) {
+			if !committed {
+				return
+			}
+			d := time.Since(sched)
+			shard.mu.Lock()
+			shard.h.Record(d)
+			shard.mu.Unlock()
+		})
+	}
+	ses.Drain()
+	res := ses.Close()
+	var lat metrics.Histogram
+	for i := range shards {
+		lat.Merge(&shards[i].h)
+	}
+	return OpenLoopResult{Result: res, TargetRate: rate, Submitted: submitted, Latency: lat, MaxLag: maxLag}
+}
+
+// sleep waits for d with sub-millisecond precision: coarse time.Sleep for
+// the bulk, then a yielding spin for the tail the OS timer cannot hit.
+func sleep(d time.Duration) {
+	deadline := time.Now().Add(d)
+	if d > time.Millisecond {
+		time.Sleep(d - 500*time.Microsecond)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

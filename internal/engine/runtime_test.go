@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/txn"
+)
+
+// The MPMC queue must neither lose nor duplicate submissions under
+// concurrent producers and consumers.
+func TestMPMCConcurrentSum(t *testing.T) {
+	const producers, consumers, perProducer = 4, 3, 5000
+	q := newMPMC(64)
+	var want, got atomic.Int64
+	var wg sync.WaitGroup
+	var remaining atomic.Int64
+	remaining.Store(producers * perProducer)
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := int64(p*perProducer + i + 1)
+				want.Add(v)
+				sub := Submission{Txn: &txn.Txn{ID: uint64(v)}}
+				var idle IdleWaiter
+				for !q.tryEnqueue(sub) {
+					idle.Wait()
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var idle IdleWaiter
+			for remaining.Load() > 0 {
+				sub, ok := q.tryDequeue()
+				if !ok {
+					idle.Wait()
+					continue
+				}
+				idle.Reset()
+				got.Add(int64(sub.Txn.ID))
+				remaining.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got.Load() != want.Load() {
+		t.Fatalf("sum %d, want %d (lost or duplicated submissions)", got.Load(), want.Load())
+	}
+	if _, ok := q.tryDequeue(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// A single producer/consumer pair must observe FIFO order.
+func TestMPMCFIFO(t *testing.T) {
+	q := newMPMC(8)
+	for i := 1; i <= 8; i++ {
+		if !q.tryEnqueue(Submission{Txn: &txn.Txn{ID: uint64(i)}}) {
+			t.Fatalf("enqueue %d refused", i)
+		}
+	}
+	if q.tryEnqueue(Submission{Txn: &txn.Txn{}}) {
+		t.Fatal("enqueue beyond capacity succeeded")
+	}
+	for i := 1; i <= 8; i++ {
+		sub, ok := q.tryDequeue()
+		if !ok || sub.Txn.ID != uint64(i) {
+			t.Fatalf("dequeue %d: got %v ok=%v", i, sub.Txn, ok)
+		}
+	}
+}
+
+func TestGaugeWaitsForZero(t *testing.T) {
+	var g Gauge
+	g.Add(2)
+	done := make(chan struct{})
+	go func() {
+		g.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Wait returned with items in flight")
+	case <-time.After(5 * time.Millisecond):
+	}
+	g.Done()
+	g.Done()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait did not return at zero")
+	}
+}
+
+// WorkerSession plumbing: every submission executes exactly once, the
+// completion callback fires, commit latency is recorded only for commits,
+// and Close aggregates across workers.
+func TestWorkerSessionLifecycle(t *testing.T) {
+	var executed atomic.Int64
+	ws := NewWorkerSession("test", 3, 16, func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
+		return func(tx *txn.Txn) bool {
+			executed.Add(1)
+			if tx.ID == 7 { // marker: "gave up", must not record latency
+				return false
+			}
+			stats.Committed++
+			return true
+		}
+	})
+
+	var callbacks, gaveUp atomic.Int64
+	const n = 200
+	for i := 0; i < n; i++ {
+		tx := &txn.Txn{}
+		if i == 0 {
+			tx.ID = 7
+		}
+		ws.Submit(tx, func(committed bool) {
+			callbacks.Add(1)
+			if !committed {
+				gaveUp.Add(1)
+			}
+		})
+	}
+	ws.Drain()
+	if got := executed.Load(); got != n {
+		t.Fatalf("executed %d, want %d", got, n)
+	}
+	if got := callbacks.Load(); got != n {
+		t.Fatalf("callbacks %d, want %d", got, n)
+	}
+	if got := gaveUp.Load(); got != 1 {
+		t.Fatalf("committed=false callbacks %d, want 1", got)
+	}
+	res := ws.Close()
+	if res.Totals.Committed != n-1 {
+		t.Fatalf("committed %d, want %d", res.Totals.Committed, n-1)
+	}
+	if res.Totals.Latency.Count() != n-1 {
+		t.Fatalf("latency samples %d, want %d (abandoned txn must not record)",
+			res.Totals.Latency.Count(), n-1)
+	}
+	if res.System != "test" || res.Duration <= 0 {
+		t.Fatalf("bad result envelope: %+v", res)
+	}
+}

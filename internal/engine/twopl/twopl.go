@@ -11,9 +11,7 @@ package twopl
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -65,61 +63,64 @@ func (e *Engine) Name() string {
 // Table exposes the lock table (tests).
 func (e *Engine) Table() *lock.Table { return e.table }
 
-// Run implements engine.Engine.
+// Run implements engine.Engine via the shared closed-loop driver.
 func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result {
-	set := metrics.NewSet(e.cfg.Threads)
-	elapsed := engine.RunWorkers(e.cfg.Threads, duration, func(thread int, stop *atomic.Bool) {
-		e.worker(thread, stop, src, set.Thread(thread))
-	})
-	return metrics.Result{System: e.Name(), Totals: set.Totals(), Duration: elapsed}
+	return engine.RunClosedLoop(e, src, duration)
 }
 
-func (e *Engine) worker(thread int, stop *atomic.Bool, src workload.Source, stats *metrics.ThreadStats) {
-	rng := rand.New(rand.NewSource(int64(thread)*7919 + 1))
-	ids := engine.NewIDSource(thread)
-	ctx := &execCtx{eng: e, thread: thread}
-
-	for !stop.Load() {
-		t := src.Next(thread, rng)
-		t.ID = ids.Next()
-		t.TS = engine.Timestamp(thread) // fixed across retries: wait-die favors elders
-		retries := 0
-		txStart := time.Now()
-		for {
-			start := time.Now()
-			ctx.begin(t)
-			err := t.Logic(ctx)
-			if err == nil {
-				ctx.commit()
-				total := time.Since(start)
-				stats.Committed++
-				stats.Latency.Record(time.Since(txStart))
-				stats.AddWait(ctx.waited)
-				stats.AddLock(ctx.locked)
-				stats.AddExec(total - ctx.waited - ctx.locked)
-				break
+// Start implements engine.Runtime.
+func (e *Engine) Start() engine.Session {
+	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(),
+		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
+			ids := engine.NewIDSource(thread)
+			ctx := &execCtx{eng: e, thread: thread}
+			return func(t *txn.Txn) bool {
+				t.ID = ids.Next()
+				return e.execute(ctx, t, stats)
 			}
-			ctx.abort()
+		})
+}
+
+// Clients implements engine.Runtime: two submitters per worker keep the
+// queue stocked while each worker runs a transaction.
+func (e *Engine) Clients() int { return 2 * e.cfg.Threads }
+
+// execute runs one transaction to commit (or until MaxRetries gives up,
+// reporting false). The wait-die timestamp is fixed across retries so old
+// transactions eventually win (no starvation).
+func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats) bool {
+	t.TS = engine.Timestamp(ctx.thread)
+	retries := 0
+	for {
+		start := time.Now()
+		ctx.begin(t)
+		err := t.Logic(ctx)
+		if err == nil {
+			ctx.commit()
 			total := time.Since(start)
-			stats.Aborted++
+			stats.Committed++
 			stats.AddWait(ctx.waited)
 			stats.AddLock(ctx.locked)
 			stats.AddExec(total - ctx.waited - ctx.locked)
-			if !errors.Is(err, txn.ErrAborted) {
-				panic(fmt.Sprintf("twopl: transaction logic failed: %v", err))
-			}
-			retries++
-			if e.cfg.MaxRetries > 0 && retries >= e.cfg.MaxRetries {
-				break
-			}
-			if stop.Load() {
-				break
-			}
-			// Yield before retrying so the conflicting holder can finish;
-			// retry storms otherwise starve holders when logical threads
-			// outnumber hardware threads.
-			runtime.Gosched()
+			return true
 		}
+		ctx.abort()
+		total := time.Since(start)
+		stats.Aborted++
+		stats.AddWait(ctx.waited)
+		stats.AddLock(ctx.locked)
+		stats.AddExec(total - ctx.waited - ctx.locked)
+		if !errors.Is(err, txn.ErrAborted) {
+			panic(fmt.Sprintf("twopl: transaction logic failed: %v", err))
+		}
+		retries++
+		if e.cfg.MaxRetries > 0 && retries >= e.cfg.MaxRetries {
+			return false
+		}
+		// Yield before retrying so the conflicting holder can finish;
+		// retry storms otherwise starve holders when logical threads
+		// outnumber hardware threads.
+		runtime.Gosched()
 	}
 }
 

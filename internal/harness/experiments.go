@@ -316,3 +316,43 @@ func fig12a(c Config) {
 func fig12b(c Config) {
 	fig11and12(c, false, 64, "Figure 12(b): YCSB 10RMW scalability, high contention (hot=64)")
 }
+
+// openloop: the serving-latency experiment enabled by the Runtime/Session
+// lifecycle (not a paper figure): the paper's high-contention YCSB
+// hot/cold workload offered to ORTHRUS at fixed Poisson arrival rates —
+// a calibration fraction of the measured closed-loop capacity — with
+// commit latency measured from each transaction's scheduled arrival.
+func openloop(c Config) {
+	header(c, "Open loop: commit latency vs offered load, 10RMW hot set = 64")
+	threads := 16
+	if threads > c.MaxThreads {
+		threads = c.MaxThreads
+	}
+	cc, exec := ccSplit(threads)
+	newEng := func() (*orthrus.Engine, *workload.YCSB) {
+		db, tbl := newYCSBDB(c)
+		src := &workload.YCSB{Table: tbl, NumRecords: c.Records, OpsPerTxn: 10,
+			HotRecords: 64, HotOps: 2}
+		return orthrus.New(orthrus.Config{DB: db, CCThreads: cc, ExecThreads: exec}), src
+	}
+
+	// Calibrate: measure closed-loop capacity, then offer fractions of it.
+	eng, src := newEng()
+	capacity := eng.Run(src, c.Duration).Throughput()
+	fmt.Fprintf(c.Out, "closed-loop capacity %.0f txns/s (%d threads)\n", capacity, threads)
+	if capacity < 100 {
+		fmt.Fprintln(c.Out, "capacity too low to offer open-loop load")
+		return
+	}
+	fmt.Fprintf(c.Out, "%-14s %12s %12s %12s %12s %12s\n", "offered_pct", "rate", "achieved", "p50_us", "p99_us", "max_lag_us")
+	for _, pct := range []int{25, 50, 75} {
+		rate := capacity * float64(pct) / 100
+		eng, src := newEng()
+		res := engine.RunOpenLoop(eng, src, rate, c.Duration)
+		fmt.Fprintf(c.Out, "%-14d %12.0f %12.0f %12d %12d %12d\n",
+			pct, rate, res.AchievedRate(),
+			res.Latency.Percentile(50).Microseconds(),
+			res.Latency.Percentile(99).Microseconds(),
+			res.MaxLag.Microseconds())
+	}
+}

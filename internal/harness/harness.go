@@ -1,13 +1,13 @@
 // Package harness regenerates every table and figure in the paper's
-// evaluation (§4 and Appendix A). Each experiment prints the same series
-// the paper plots — throughput (or a time breakdown) per system along the
-// figure's x-axis — so paper-vs-measured comparisons drop out directly
-// (EXPERIMENTS.md records them).
+// evaluation (§4 and Appendix A), plus extensions such as the open-loop
+// latency experiment. Each figure experiment prints the same series the
+// paper plots — throughput (or a time breakdown) per system along the
+// figure's x-axis — so paper-vs-measured comparisons drop out directly.
 //
 // Scale note: axis values named "CPU cores" in the paper are logical
-// worker-thread counts here (see DESIGN.md §3), and the default table
-// size is scaled down from the paper's 10M×1KB records; both are
-// configurable.
+// worker-thread counts here (see README.md "Scale and fidelity"), and
+// the default table size is scaled down from the paper's 10M×1KB
+// records; both are configurable.
 package harness
 
 import (
@@ -87,6 +87,7 @@ func Registry() []Experiment {
 		{"fig11b", "Figure 11(b)", "YCSB read-only scalability, high contention", fig11b},
 		{"fig12a", "Figure 12(a)", "YCSB 10RMW scalability, low contention", fig12a},
 		{"fig12b", "Figure 12(b)", "YCSB 10RMW scalability, high contention", fig12b},
+		{"openloop", "Open loop", "commit-latency percentiles vs fixed Poisson arrival rate", openloop},
 	}
 }
 

@@ -1,9 +1,9 @@
 package orthrus
 
 import (
-	"runtime"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/txn"
 )
 
@@ -264,8 +264,10 @@ func newCCThread(s *runState, id int) *ccThread {
 }
 
 func (c *ccThread) loop() {
+	var idle engine.IdleWaiter
 	for {
 		if c.drainAll() {
+			idle.Reset()
 			continue
 		}
 		if c.s.ccStop.Load() {
@@ -274,7 +276,9 @@ func (c *ccThread) loop() {
 			c.drainAll()
 			return
 		}
-		runtime.Gosched()
+		// Yield-then-sleep: an idle serving session must not pin a core
+		// per CC thread.
+		idle.Wait()
 	}
 }
 

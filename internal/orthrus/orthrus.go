@@ -34,11 +34,18 @@
 // in-flight transactions and keeps submitting new ones while waiting for
 // grants, so queueing delay extends lock hold times but never idles a
 // core.
+//
+// # Lifecycle
+//
+// The engine implements engine.Runtime: Start launches the CC and
+// execution threads and returns a Session whose Submit feeds transactions
+// from any caller — a benchmark driver or a server front-end — into the
+// execution threads' asynchronous windows. Engine.Run is just the shared
+// closed-loop driver over that session.
 package orthrus
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -83,7 +90,8 @@ type Config struct {
 	// Split marks the "SPLIT ORTHRUS" variant of Figures 6/7 (physically
 	// partitioned indexes). As with split deadlock-free, the benefit the
 	// paper measures is cache locality, which this reproduction cannot
-	// exhibit; the flag changes only the reported name. See DESIGN.md §3.
+	// exhibit; the flag changes only the reported name. See README.md
+	// "Scale and fidelity".
 	Split bool
 	// DisableForwarding reverts to the naive protocol of §3.3/Figure 2:
 	// the execution thread mediates every CC interaction itself, paying
@@ -123,8 +131,8 @@ type message struct {
 
 // wrapper carries a transaction through the CC chain. Field ownership:
 //
-//   - owner, hops, opsByCC, t: written by the owning exec thread before
-//     submission, read-only afterwards.
+//   - owner, hops, opsByCC, t, done: written by the owning exec thread
+//     before submission, read-only afterwards.
 //   - hopIdx, pending: touched only by the CC thread currently processing
 //     the wrapper (exactly one at any time — the chain is sequential).
 //   - reqs[i]: written and read only by CC thread hops[i].
@@ -133,7 +141,8 @@ type message struct {
 type wrapper struct {
 	t     *txn.Txn
 	owner int
-	start time.Time // first submission, for commit-latency measurement
+	start time.Time  // window-entry time, for commit-latency measurement
+	done  func(bool) // session completion callback; may be nil
 
 	hops    []int      // CC ids, ascending
 	opsByCC [][]txn.Op // parallel to hops
@@ -156,10 +165,11 @@ func (w *wrapper) hopOf(c int) int {
 // Engine is an ORTHRUS instance.
 type Engine struct {
 	cfg  Config
-	msgs MessageStats // populated by Run
+	msgs MessageStats // populated when a session closes
 }
 
-// Messages returns the message-plane traffic of the last completed Run.
+// Messages returns the message-plane traffic of the last closed session
+// (every Run closes its session before returning).
 func (e *Engine) Messages() MessageStats { return e.msgs }
 
 // New validates the configuration and returns an engine.
@@ -253,37 +263,86 @@ func (e *Engine) newRunState() *runState {
 	return s
 }
 
-// Run implements engine.Engine.
+// Run implements engine.Engine via the shared closed-loop driver.
 func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result {
-	s := e.newRunState()
-	set := metrics.NewSet(e.cfg.ExecThreads)
+	return engine.RunClosedLoop(e, src, duration)
+}
 
-	var ccWg sync.WaitGroup
+// Clients implements engine.Runtime: enough submitters to fill every
+// execution thread's asynchronous window, plus one queued transaction per
+// thread so a completed window slot refills without waiting on a client.
+func (e *Engine) Clients() int { return e.cfg.ExecThreads * (e.cfg.Inflight + 1) }
+
+// session is the live engine: CC threads plus execution threads serving a
+// shared submission queue. Execution threads pull submissions to top up
+// their asynchronous windows, so an outside caller's transactions flow
+// into the same CC message plane the closed-loop benchmarks exercise.
+type session struct {
+	e   *Engine
+	s   *runState
+	set *metrics.Set
+
+	submit   chan engine.Submission
+	inflight engine.Gauge
+	execStop atomic.Bool
+	execWg   sync.WaitGroup
+	ccWg     sync.WaitGroup
+	start    time.Time
+}
+
+// Start implements engine.Runtime.
+func (e *Engine) Start() engine.Session {
+	ses := &session{
+		e:      e,
+		s:      e.newRunState(),
+		set:    metrics.NewSet(e.cfg.ExecThreads),
+		submit: make(chan engine.Submission, e.Clients()),
+		start:  time.Now(),
+	}
 	for c := 0; c < e.cfg.CCThreads; c++ {
-		ccWg.Add(1)
+		ses.ccWg.Add(1)
 		go func(c int) {
-			defer ccWg.Done()
-			newCCThread(s, c).loop()
+			defer ses.ccWg.Done()
+			newCCThread(ses.s, c).loop()
 		}(c)
 	}
-
-	elapsed := engine.RunWorkers(e.cfg.ExecThreads, duration, func(thread int, stop *atomic.Bool) {
-		newExecThread(s, thread, src, set.Thread(thread)).loop(stop)
-	})
-
-	// Every execution thread drained its in-flight window before exiting,
-	// so only releases (which no one waits on) remain queued. Let the CC
-	// threads take a final pass and exit.
-	s.ccStop.Store(true)
-	ccWg.Wait()
-
-	e.msgs = MessageStats{
-		Acquires: s.nAcquires.Load(),
-		Forwards: s.nForwards.Load(),
-		Grants:   s.nGrants.Load(),
-		Releases: s.nReleases.Load(),
+	for x := 0; x < e.cfg.ExecThreads; x++ {
+		ses.execWg.Add(1)
+		go func(x int) {
+			defer ses.execWg.Done()
+			newExecThread(ses, x, ses.set.Thread(x)).loop()
+		}(x)
 	}
-	return metrics.Result{System: e.Name(), Totals: set.Totals(), Duration: elapsed}
+	return ses
+}
+
+// Submit implements engine.Session. It blocks only when the submission
+// queue is full — backpressure from saturated execution threads.
+func (ses *session) Submit(t *txn.Txn, done func(committed bool)) {
+	ses.inflight.Add(1)
+	ses.submit <- engine.Submission{Txn: t, Done: done}
+}
+
+// Drain implements engine.Session.
+func (ses *session) Drain() { ses.inflight.Wait() }
+
+// Close implements engine.Session. It drains outstanding submissions,
+// retires the execution threads, lets the CC threads take a final pass
+// over straggling releases, and reports the session's metrics.
+func (ses *session) Close() metrics.Result {
+	ses.inflight.Wait()
+	ses.execStop.Store(true)
+	ses.execWg.Wait()
+	ses.s.ccStop.Store(true)
+	ses.ccWg.Wait()
+
+	ses.e.msgs = MessageStats{
+		Acquires: ses.s.nAcquires.Load(),
+		Forwards: ses.s.nForwards.Load(),
+		Grants:   ses.s.nGrants.Load(),
+		Releases: ses.s.nReleases.Load(),
+	}
+	return metrics.Result{System: ses.e.Name(), Totals: ses.set.Totals(), Duration: time.Since(ses.start)}
 }
 
 // ---------------------------------------------------------------------
@@ -292,10 +351,9 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 
 type execThread struct {
 	s     *runState
+	ses   *session
 	id    int
-	src   workload.Source
 	stats *metrics.ThreadStats
-	rng   *rand.Rand
 	ids   *engine.IDSource
 	ctx   engine.PlannedCtx
 
@@ -307,20 +365,20 @@ type execThread struct {
 	logicTime time.Duration
 }
 
-func newExecThread(s *runState, id int, src workload.Source, stats *metrics.ThreadStats) *execThread {
+func newExecThread(ses *session, id int, stats *metrics.ThreadStats) *execThread {
 	return &execThread{
-		s:      s,
+		s:      ses.s,
+		ses:    ses,
 		id:     id,
-		src:    src,
 		stats:  stats,
-		rng:    rand.New(rand.NewSource(int64(id)*31337 + 7)),
 		ids:    engine.NewIDSource(id),
-		ctx:    engine.PlannedCtx{DB: s.cfg.DB},
-		window: s.cfg.Inflight,
+		ctx:    engine.PlannedCtx{DB: ses.s.cfg.DB},
+		window: ses.s.cfg.Inflight,
 	}
 }
 
-func (x *execThread) loop(stop *atomic.Bool) {
+func (x *execThread) loop() {
+	var idle engine.IdleWaiter
 	for {
 		progress := false
 		t0 := time.Now()
@@ -338,36 +396,49 @@ func (x *execThread) loop(stop *atomic.Bool) {
 			}
 		}
 
-		// Top up the asynchronous window.
-		for !stop.Load() && x.inflight < x.window {
-			t := x.src.Next(x.id, x.rng)
-			t.ID = x.ids.Next()
-			x.submit(t, time.Now())
+		// Top up the asynchronous window from the submission queue.
+		for x.inflight < x.window {
+			var sub engine.Submission
+			select {
+			case sub = <-x.ses.submit:
+			default:
+			}
+			if sub.Txn == nil {
+				break
+			}
+			sub.Txn.ID = x.ids.Next()
+			x.submit(sub.Txn, sub.Done, time.Now())
 			progress = true
 		}
 
-		if x.inflight == 0 && stop.Load() {
+		if x.inflight == 0 && x.ses.execStop.Load() && len(x.ses.submit) == 0 {
+			// Close drains all submissions before setting execStop, so
+			// nothing can arrive after this check.
 			return
 		}
 		if progress {
+			idle.Reset()
 			// Everything in this iteration that was not transaction logic
 			// is messaging/planning overhead: the locking bucket.
 			x.stats.AddLock(time.Since(t0) - x.logicTime)
 		} else {
-			// Idle: window full (or stopping) and no grants ready. Yield
-			// first so the measurement includes the descheduled period.
-			runtime.Gosched()
+			// Idle: window full (or queue empty) and no grants ready.
+			// Yield-then-sleep so an idle serving session does not burn a
+			// core; the wait is measured so the descheduled period lands
+			// in the wait bucket.
+			idle.Wait()
 			x.stats.AddWait(time.Since(t0))
 		}
 	}
 }
 
 // submit plans the transaction's CC chain and sends the first acquire.
-// start is the transaction's first submission time (preserved across OLLP
-// restarts so latency covers the whole retry chain).
-func (x *execThread) submit(t *txn.Txn, start time.Time) {
+// start is when this execution thread accepted the transaction into its
+// window (preserved across OLLP restarts so latency covers the whole
+// retry chain), done its session completion callback.
+func (x *execThread) submit(t *txn.Txn, done func(bool), start time.Time) {
 	t.SortOps()
-	w := &wrapper{t: t, owner: x.id, start: start}
+	w := &wrapper{t: t, owner: x.id, start: start, done: done}
 
 	// Group ops by home CC thread, emitting hops in ascending CC id — the
 	// deadlock-avoidance order (§3.2). Partition ids are folded modulo the
@@ -448,12 +519,17 @@ func (x *execThread) finish(w *wrapper) {
 		if locked {
 			x.inflight--
 		}
+		if w.done != nil {
+			w.done(true)
+		}
+		x.ses.inflight.Done()
 		return
 	}
 	if err != txn.ErrEstimateMiss {
 		panic(fmt.Sprintf("orthrus: transaction logic failed: %v", err))
 	}
 	// OLLP estimate miss (§3.2): roll back, release, re-plan, restart.
+	// The session completion fires only on the final commit.
 	x.ctx.Abort()
 	x.release(w)
 	if locked {
@@ -466,7 +542,7 @@ func (x *execThread) finish(w *wrapper) {
 	}
 	t.Replan(t)
 	t.Partitions = nil
-	x.submit(t, w.start)
+	x.submit(t, w.done, w.start)
 }
 
 // release notifies every CC thread in the chain. Fire-and-forget: release
@@ -478,4 +554,7 @@ func (x *execThread) release(w *wrapper) {
 	}
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var (
+	_ engine.System  = (*Engine)(nil)
+	_ engine.Session = (*session)(nil)
+)

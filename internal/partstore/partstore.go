@@ -18,13 +18,12 @@
 //
 // The paper's baseline also physically partitions index structures to gain
 // cache locality. That benefit is invisible at this reproduction's scale
-// (see DESIGN.md §3); the concurrency behaviour — which drives the curve
+// (see README.md "Scale and fidelity"); the concurrency behaviour — which drives the curve
 // shapes — is reproduced exactly.
 package partstore
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -97,58 +96,62 @@ func (e *Engine) Name() string {
 	return fmt.Sprintf("partstore(%dp/%dt)", e.cfg.Partitions, e.cfg.Threads)
 }
 
-// Run implements engine.Engine.
+// Run implements engine.Engine via the shared closed-loop driver.
 func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result {
-	set := metrics.NewSet(e.cfg.Threads)
-	elapsed := engine.RunWorkers(e.cfg.Threads, duration, func(thread int, stop *atomic.Bool) {
-		e.worker(thread, stop, src, set.Thread(thread))
-	})
-	return metrics.Result{System: e.Name(), Totals: set.Totals(), Duration: elapsed}
+	return engine.RunClosedLoop(e, src, duration)
 }
 
-func (e *Engine) worker(thread int, stop *atomic.Bool, src workload.Source, stats *metrics.ThreadStats) {
-	rng := rand.New(rand.NewSource(int64(thread)*6151 + 11))
-	ids := engine.NewIDSource(thread)
-	ctx := &execCtx{db: e.cfg.DB}
+// Start implements engine.Runtime.
+func (e *Engine) Start() engine.Session {
+	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(),
+		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
+			ids := engine.NewIDSource(thread)
+			ctx := &execCtx{db: e.cfg.DB}
+			return func(t *txn.Txn) bool {
+				t.ID = ids.Next()
+				e.execute(ctx, t, stats)
+				return true
+			}
+		})
+}
 
-	for !stop.Load() {
-		t := src.Next(thread, rng)
-		t.ID = ids.Next()
+// Clients implements engine.Runtime.
+func (e *Engine) Clients() int { return 2 * e.cfg.Threads }
 
-		// The partition footprint: pre-declared by the generator or
-		// derived from the declared access set. Ascending order keeps
-		// partition-lock acquisition deadlock-free; generator-provided
-		// sets carry no ordering guarantee, so sort unconditionally.
-		parts := t.PartitionSet(e.cfg.Partition)
-		sort.Ints(parts)
+// execute runs one transaction under its partition locks. There is no
+// abort path: partition locks serialize every access up front.
+func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats) {
+	// The partition footprint: pre-declared by the generator or
+	// derived from the declared access set. Ascending order keeps
+	// partition-lock acquisition deadlock-free; generator-provided
+	// sets carry no ordering guarantee, so sort unconditionally.
+	parts := t.PartitionSet(e.cfg.Partition)
+	sort.Ints(parts)
 
-		txStart := time.Now()
-		lockStart := txStart
-		var waited time.Duration
-		for _, p := range parts {
-			waited += e.locks[p].lock()
-		}
-		locked := time.Since(lockStart) - waited
-
-		execStart := time.Now()
-		ctx.t = t
-		if err := t.Logic(ctx); err != nil {
-			panic(fmt.Sprintf("partstore: transaction logic failed: %v", err))
-		}
-		execDur := time.Since(execStart)
-
-		relStart := time.Now()
-		for i := len(parts) - 1; i >= 0; i-- {
-			e.locks[parts[i]].unlock()
-		}
-		locked += time.Since(relStart)
-
-		stats.Committed++
-		stats.Latency.Record(time.Since(txStart))
-		stats.AddWait(waited)
-		stats.AddLock(locked)
-		stats.AddExec(execDur)
+	// Chained timestamps: each phase boundary is read once (clock reads
+	// are a measurable share of a one-microsecond transaction).
+	t0 := time.Now()
+	var waited time.Duration
+	for _, p := range parts {
+		waited += e.locks[p].lock()
 	}
+	t1 := time.Now()
+
+	ctx.t = t
+	if err := t.Logic(ctx); err != nil {
+		panic(fmt.Sprintf("partstore: transaction logic failed: %v", err))
+	}
+	t2 := time.Now()
+
+	for i := len(parts) - 1; i >= 0; i-- {
+		e.locks[parts[i]].unlock()
+	}
+	t3 := time.Now()
+
+	stats.Committed++
+	stats.AddWait(waited)
+	stats.AddLock(t1.Sub(t0) - waited + t3.Sub(t2))
+	stats.AddExec(t2.Sub(t1))
 }
 
 // execCtx accesses storage directly: partition locks already serialize all
@@ -174,4 +177,4 @@ func (c *execCtx) Insert(table int, key uint64, value []byte) error {
 	return c.db.Table(table).Insert(key, value)
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var _ engine.System = (*Engine)(nil)

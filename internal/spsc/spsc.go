@@ -138,7 +138,7 @@ func (r *Ring[T]) Closed() bool { return r.closed.Load() }
 
 // Queue is the transport abstraction shared by the SPSC ring and the
 // channel-based alternative, so the ORTHRUS message plane can be ablated
-// against Go channels (DESIGN.md §6).
+// against Go channels (README.md "Ablations").
 type Queue[T any] interface {
 	TryEnqueue(T) bool
 	Enqueue(T) bool

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"bytes"
+	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -285,5 +287,70 @@ func TestSecondaryIndexSortedProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// NewFixedTable must refuse shapes whose arena it cannot represent: a
+// zero row count (Get would return nil for every key) and a rows×size
+// product that overflows, which would silently allocate a wrong-sized
+// arena and misbehave at the table boundary.
+func TestFixedTableShapeGuards(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero rows", func() { NewFixedTable("z", 0, 8) })
+	mustPanic("zero record size", func() { NewFixedTable("z", 8, 0) })
+	mustPanic("negative record size", func() { NewFixedTable("z", 8, -1) })
+	mustPanic("overflow", func() { NewFixedTable("z", math.MaxUint64/4, 8) })
+	mustPanic("max rows", func() { NewFixedTable("z", math.MaxUint64, 1) })
+
+	// Boundary behaviour of a legal table is unchanged.
+	tbl := NewFixedTable("ok", 4, 8)
+	if tbl.Get(3) == nil {
+		t.Fatal("last row inaccessible")
+	}
+	if tbl.Get(4) != nil {
+		t.Fatal("out-of-range key returned a record")
+	}
+}
+
+// The copy-on-write table registry: ids handed out before later Create
+// calls must stay valid, and readers racing Register must never observe
+// a torn slice.
+func TestDBRegistryCopyOnWrite(t *testing.T) {
+	db := NewDB()
+	first := db.Create(Layout{Name: "a", NumRecords: 4, RecordSize: 8})
+	got := db.Table(first)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if db.Table(first) != got {
+				t.Error("table id remapped during registration")
+				return
+			}
+		}
+	}()
+	for i := 0; i < 64; i++ {
+		db.Create(Layout{Name: fmt.Sprintf("t%d", i), NumRecords: 4, RecordSize: 8})
+	}
+	close(stop)
+	wg.Wait()
+	if db.NumTables() != 65 {
+		t.Fatalf("NumTables = %d, want 65", db.NumTables())
 	}
 }

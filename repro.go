@@ -31,8 +31,14 @@
 //	res := eng.Run(src, 2*time.Second)
 //	fmt.Println(res)
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// reproduction of every figure in the paper's evaluation.
+// Engines also expose a long-lived service lifecycle (Runtime/Session):
+// Start the engine once, Submit transactions from any caller with
+// per-transaction completion callbacks, Drain and Close. RunClosedLoop
+// and RunOpenLoop are the two bundled load drivers over that lifecycle;
+// examples/server shows direct submission.
+//
+// See README.md for the architecture, the Runtime/Session API, and how
+// to regenerate the paper's figures with the experiment harness.
 package repro
 
 import (
@@ -120,18 +126,60 @@ var (
 
 // Engine runs workloads for a fixed duration and reports metrics. All six
 // systems (ORTHRUS and its variants, 2PL with each handler, Deadlock-free,
-// Partitioned-store) implement it.
+// Partitioned-store) implement it; Run is the shared closed-loop driver
+// over the Runtime lifecycle.
 type Engine = engine.Engine
+
+// Runtime is the service-style lifecycle every engine implements: Start
+// the engine's threads once, then Submit transactions through the
+// returned Session.
+type Runtime = engine.Runtime
+
+// Session accepts transactions for a started Runtime: Submit with a
+// per-transaction completion callback, Drain, Close.
+type Session = engine.Session
+
+// System is the full engine surface: Engine plus Runtime. Every
+// constructor below returns an implementation.
+type System = engine.System
+
+// RunClosedLoop drives a Runtime with self-generated closed-loop load —
+// the generic implementation behind Engine.Run.
+func RunClosedLoop(rt Runtime, src Source, duration time.Duration) Result {
+	return engine.RunClosedLoop(rt, src, duration)
+}
+
+// RunOpenLoop drives a Runtime with Poisson arrivals at a fixed rate and
+// reports commit-latency percentiles measured from each transaction's
+// scheduled arrival (latency under offered, not self-regulated, load).
+func RunOpenLoop(rt Runtime, src Source, rate float64, duration time.Duration) OpenLoopResult {
+	return engine.RunOpenLoop(rt, src, rate, duration)
+}
+
+// OpenLoopResult is an open-loop run's outcome: engine totals plus the
+// scheduled-arrival-to-commit latency histogram.
+type OpenLoopResult = engine.OpenLoopResult
 
 // Result is a timed run's outcome; Result.Throughput() is committed
 // transactions per second.
 type Result = metrics.Result
 
+// Histogram is the log₂-bucketed latency histogram used throughout.
+type Histogram = metrics.Histogram
+
 // OrthrusConfig configures the paper's system (see internal/orthrus docs).
 type OrthrusConfig = orthrus.Config
 
+// Orthrus is the paper's engine; beyond Engine/Runtime it reports
+// message-plane statistics (Messages).
+type Orthrus = orthrus.Engine
+
+// MessageStats counts ORTHRUS message-plane traffic (the quantity §3.3's
+// forwarding optimization reduces from 2·Ncc to Ncc+1 per acquisition).
+type MessageStats = orthrus.MessageStats
+
 // NewOrthrus builds an ORTHRUS engine.
-func NewOrthrus(cfg OrthrusConfig) Engine { return orthrus.New(cfg) }
+func NewOrthrus(cfg OrthrusConfig) *Orthrus { return orthrus.New(cfg) }
 
 // AutotuneOrthrus probes candidate CC/exec splits for a total thread
 // budget against the given workload and returns the best configuration
@@ -144,20 +192,29 @@ func AutotuneOrthrus(db *DB, totalThreads int, pf PartitionFunc, src Source, pro
 // TwoPLConfig configures conventional dynamic two-phase locking.
 type TwoPLConfig = twopl.Config
 
+// TwoPL is the conventional dynamic-2PL engine.
+type TwoPL = twopl.Engine
+
 // NewTwoPL builds a 2PL engine with the given deadlock handler.
-func NewTwoPL(cfg TwoPLConfig) Engine { return twopl.New(cfg) }
+func NewTwoPL(cfg TwoPLConfig) *TwoPL { return twopl.New(cfg) }
 
 // DeadlockFreeConfig configures ordered-acquisition locking.
 type DeadlockFreeConfig = dlfree.Config
 
+// DeadlockFree is the ordered-acquisition locking engine.
+type DeadlockFree = dlfree.Engine
+
 // NewDeadlockFree builds the Deadlock-free locking engine.
-func NewDeadlockFree(cfg DeadlockFreeConfig) Engine { return dlfree.New(cfg) }
+func NewDeadlockFree(cfg DeadlockFreeConfig) *DeadlockFree { return dlfree.New(cfg) }
 
 // PartitionedStoreConfig configures the H-Store-style baseline.
 type PartitionedStoreConfig = partstore.Config
 
+// PartitionedStore is the H-Store-style baseline engine.
+type PartitionedStore = partstore.Engine
+
 // NewPartitionedStore builds the Partitioned-store engine.
-func NewPartitionedStore(cfg PartitionedStoreConfig) Engine { return partstore.New(cfg) }
+func NewPartitionedStore(cfg PartitionedStoreConfig) *PartitionedStore { return partstore.New(cfg) }
 
 // Handler is a pluggable 2PL deadlock policy.
 type Handler = lock.Handler
