@@ -340,6 +340,35 @@ func BenchmarkAblationInflight(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationBatchSize compares the batched message plane against
+// the unbatched baseline (BatchSize=1) on the high-contention YCSB mix:
+// the same messages cross the rings, in ~1/k as many atomic operations.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for _, bs := range []int{1, 4, 8, 32} {
+		b.Run(benchName("batch", bs), func(b *testing.B) {
+			db, tbl := newBenchDB()
+			eng := NewOrthrus(OrthrusConfig{DB: db, CCThreads: 4, ExecThreads: 8, BatchSize: bs})
+			src := &YCSB{Table: tbl, NumRecords: benchRecords, OpsPerTxn: 10,
+				HotRecords: 64, HotOps: 2}
+			reportRun(b, eng, src)
+		})
+	}
+}
+
+// BenchmarkAblationBatchSizeTransfer is the same comparison on the
+// short-transaction transfer workload, where per-message overhead is the
+// largest fraction of the work.
+func BenchmarkAblationBatchSizeTransfer(b *testing.B) {
+	for _, bs := range []int{1, 8} {
+		b.Run(benchName("batch", bs), func(b *testing.B) {
+			db, tbl := newBenchDB()
+			eng := NewOrthrus(OrthrusConfig{DB: db, CCThreads: 4, ExecThreads: 8, BatchSize: bs})
+			src := &Transfer{Table: tbl, NumRecords: benchRecords}
+			reportRun(b, eng, src)
+		})
+	}
+}
+
 // BenchmarkAblationZipf runs the skew extension: Zipfian access instead of
 // the paper's hot/cold mix.
 func BenchmarkAblationZipf(b *testing.B) {

@@ -5,10 +5,14 @@
 //	orthrus-bench -list
 //	orthrus-bench -experiment fig4b
 //	orthrus-bench -experiment all -duration 1s -records 1000000 -threads 80
+//	orthrus-bench -experiment batching
 //
 // Each experiment prints the same series the corresponding paper figure
 // plots; see README.md "Regenerating the paper's figures" for the expected shapes and
-// paper-vs-measured comparison.
+// paper-vs-measured comparison. Beyond the figures, the openloop
+// experiment reports commit latency under offered load and the batching
+// experiment reports message-plane ring operations and throughput per
+// BatchSize.
 package main
 
 import (

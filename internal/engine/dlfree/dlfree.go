@@ -45,6 +45,7 @@ type Config struct {
 type Engine struct {
 	cfg   Config
 	table *lock.Table
+	inUse engine.InUseGuard
 }
 
 // New builds the engine.
@@ -74,7 +75,7 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 
 // Start implements engine.Runtime.
 func (e *Engine) Start() engine.Session {
-	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(),
+	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse,
 		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
 			w := &dlfreeWorker{
 				eng:    e,

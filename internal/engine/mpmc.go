@@ -27,7 +27,13 @@ type mpmcCell struct {
 }
 
 // newMPMC returns a queue with capacity rounded up to a power of two.
+// Capacity is clamped to at least 1: a negative value converted to uint64
+// would otherwise send the doubling loop past overflow (n becomes 0 and
+// never terminates).
 func newMPMC(capacity int) *mpmc {
+	if capacity < 1 {
+		capacity = 1
+	}
 	n := uint64(1)
 	for n < uint64(capacity) {
 		n <<= 1

@@ -54,7 +54,7 @@ type Session interface {
 	Drain()
 	// Close drains, stops the engine's threads, and returns the session's
 	// aggregated metrics. The session is dead afterwards; the Runtime may
-	// be started again.
+	// be started again. Submit or Close on a closed session panics.
 	Close() metrics.Result
 }
 
@@ -77,11 +77,41 @@ func (g *Gauge) Add(d int) { g.n.Add(int64(d)) }
 // Done retires one in-flight item.
 func (g *Gauge) Done() { g.n.Add(-1) }
 
-// Wait blocks until the gauge reaches zero.
+// Wait blocks until the gauge reaches zero. A negative count means Done
+// was called without a matching Add — Wait would otherwise spin forever
+// past zero, so it panics instead of hanging.
 func (g *Gauge) Wait() {
-	for g.n.Load() != 0 {
+	for {
+		n := g.n.Load()
+		if n == 0 {
+			return
+		}
+		if n < 0 {
+			panic("engine: Gauge count went negative (Done without matching Add)")
+		}
 		time.Sleep(50 * time.Microsecond)
 	}
+}
+
+// InUseGuard enforces the documented "one live session per engine at a
+// time" Runtime contract: Start acquires it, Session.Close releases it,
+// and a second concurrent Start panics instead of silently racing two
+// sessions on the engine's threads and metrics. Sequential
+// Start→Close→Start reuse is explicitly supported.
+type InUseGuard struct {
+	busy atomic.Bool
+}
+
+// Acquire marks the engine in use; name labels the panic.
+func (g *InUseGuard) Acquire(name string) {
+	if !g.busy.CompareAndSwap(false, true) {
+		panic("engine: " + name + ": Start while a previous session is still open (one live session per engine at a time; Close it first)")
+	}
+}
+
+// Release marks the engine reusable; called from Session.Close.
+func (g *InUseGuard) Release() {
+	g.busy.Store(false)
 }
 
 // WorkerSession is the shared Session implementation for the synchronous
@@ -98,20 +128,27 @@ type WorkerSession struct {
 	stop     atomic.Bool
 	wg       sync.WaitGroup
 	start    time.Time
+	guard    *InUseGuard // released on Close; may be nil (tests)
 }
 
 // NewWorkerSession starts n workers. newWorker builds each worker's
 // execution closure (per-worker contexts, freelists, id sources live in
 // the closure); the closure runs one submission to completion and reports
 // whether it committed. Commit latency is recorded here, once per commit,
-// against the executing worker's stats.
-func NewWorkerSession(name string, workers, queueCap int,
+// against the executing worker's stats. A non-nil guard is acquired now
+// and released on Close, enforcing the one-live-session contract for the
+// owning engine.
+func NewWorkerSession(name string, workers, queueCap int, guard *InUseGuard,
 	newWorker func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool) *WorkerSession {
+	if guard != nil {
+		guard.Acquire(name)
+	}
 	s := &WorkerSession{
 		name:  name,
 		set:   metrics.NewSet(workers),
 		queue: newMPMC(queueCap),
 		start: time.Now(),
+		guard: guard,
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -148,12 +185,20 @@ func NewWorkerSession(name string, workers, queueCap int,
 }
 
 // Submit implements Session. It spins politely when the queue is full —
-// backpressure from saturated workers.
+// backpressure from saturated workers. Submitting to a closed session
+// panics: the worker pool is stopped, so the enqueue (or the drain the
+// submission would need) would otherwise spin forever.
 func (s *WorkerSession) Submit(t *txn.Txn, done func(committed bool)) {
+	if s.stop.Load() {
+		panic("engine: " + s.name + ": Submit on a closed session")
+	}
 	s.inflight.Add(1)
 	sub := Submission{Txn: t, Done: done}
 	var idle IdleWaiter
 	for !s.queue.tryEnqueue(sub) {
+		if s.stop.Load() {
+			panic("engine: " + s.name + ": Submit on a closed session")
+		}
 		idle.Wait()
 	}
 }
@@ -161,11 +206,17 @@ func (s *WorkerSession) Submit(t *txn.Txn, done func(committed bool)) {
 // Drain implements Session.
 func (s *WorkerSession) Drain() { s.inflight.Wait() }
 
-// Close implements Session.
+// Close implements Session. A second Close panics: it would release the
+// engine's in-use guard out from under a newer session.
 func (s *WorkerSession) Close() metrics.Result {
 	s.inflight.Wait()
-	s.stop.Store(true)
+	if !s.stop.CompareAndSwap(false, true) {
+		panic("engine: " + s.name + ": Close on a closed session")
+	}
 	s.wg.Wait()
+	if s.guard != nil {
+		s.guard.Release()
+	}
 	return metrics.Result{System: s.name, Totals: s.set.Totals(), Duration: time.Since(s.start)}
 }
 

@@ -80,6 +80,78 @@ func TestMPMCFIFO(t *testing.T) {
 	}
 }
 
+// Regression: a non-positive capacity used to make the power-of-two
+// doubling loop compare against a huge unsigned value and spin forever
+// once n overflowed to zero. newMPMC must clamp instead.
+func TestMPMCNonPositiveCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		q := newMPMC(capacity)
+		if got := len(q.cells); got != 1 {
+			t.Fatalf("newMPMC(%d) capacity = %d, want 1", capacity, got)
+		}
+		if !q.tryEnqueue(Submission{Txn: &txn.Txn{ID: 42}}) {
+			t.Fatalf("newMPMC(%d): enqueue refused on empty queue", capacity)
+		}
+		sub, ok := q.tryDequeue()
+		if !ok || sub.Txn.ID != 42 {
+			t.Fatalf("newMPMC(%d): dequeue = (%v,%v)", capacity, sub.Txn, ok)
+		}
+	}
+}
+
+// A negative gauge means unbalanced Done calls; Wait must fail loudly
+// instead of spinning past zero forever.
+func TestGaugeNegativePanics(t *testing.T) {
+	var g Gauge
+	g.Done()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wait on a negative gauge did not panic")
+		}
+	}()
+	g.Wait()
+}
+
+// Submit on a closed WorkerSession must panic with a descriptive error
+// instead of spinning forever against the stopped worker pool.
+func TestWorkerSessionSubmitAfterClosePanics(t *testing.T) {
+	ws := NewWorkerSession("test", 1, 4, nil, func(int, *metrics.ThreadStats) func(*txn.Txn) bool {
+		return func(*txn.Txn) bool { return true }
+	})
+	ws.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit after Close did not panic")
+		}
+	}()
+	ws.Submit(&txn.Txn{}, nil)
+}
+
+// The InUseGuard contract: concurrent double-Start panics, sequential
+// Start→Close→Start reuse works.
+func TestInUseGuard(t *testing.T) {
+	newWS := func(g *InUseGuard) *WorkerSession {
+		return NewWorkerSession("test", 1, 4, g, func(int, *metrics.ThreadStats) func(*txn.Txn) bool {
+			return func(*txn.Txn) bool { return true }
+		})
+	}
+	var g InUseGuard
+	ws := newWS(&g)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second concurrent session did not panic")
+			}
+		}()
+		newWS(&g)
+	}()
+	ws.Close()
+	ws2 := newWS(&g) // sequential reuse after Close must succeed
+	ws2.Submit(&txn.Txn{}, nil)
+	ws2.Drain()
+	ws2.Close()
+}
+
 func TestGaugeWaitsForZero(t *testing.T) {
 	var g Gauge
 	g.Add(2)
@@ -107,7 +179,7 @@ func TestGaugeWaitsForZero(t *testing.T) {
 // and Close aggregates across workers.
 func TestWorkerSessionLifecycle(t *testing.T) {
 	var executed atomic.Int64
-	ws := NewWorkerSession("test", 3, 16, func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
+	ws := NewWorkerSession("test", 3, 16, nil, func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
 		return func(tx *txn.Txn) bool {
 			executed.Add(1)
 			if tx.ID == 7 { // marker: "gave up", must not record latency

@@ -41,6 +41,7 @@ type Config struct {
 type Engine struct {
 	cfg   Config
 	table *lock.Table
+	inUse engine.InUseGuard
 }
 
 // New builds the engine and its shared lock table.
@@ -70,7 +71,7 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 
 // Start implements engine.Runtime.
 func (e *Engine) Start() engine.Session {
-	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(),
+	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse,
 		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
 			ids := engine.NewIDSource(thread)
 			ctx := &execCtx{eng: e, thread: thread}

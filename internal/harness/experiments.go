@@ -317,6 +317,48 @@ func fig12b(c Config) {
 	fig11and12(c, false, 64, "Figure 12(b): YCSB 10RMW scalability, high contention (hot=64)")
 }
 
+// batching: the message-plane batching extension (not a paper figure).
+// The paper's partitioned-functionality design wins only while message
+// passing stays cheaper than the latching it replaces (§3.1/§3.3);
+// batching amortizes the ring cost of one atomic publish plus one atomic
+// consume across BatchSize messages. BatchSize=1 is the unbatched
+// baseline; the op columns report the MessageStats ring-operation
+// counters, msgs/enq the achieved producer-side batching factor.
+func batching(c Config) {
+	header(c, "Message batching: ring operations and closed-loop throughput vs BatchSize")
+	threads := 8
+	if threads > c.MaxThreads {
+		threads = c.MaxThreads
+	}
+	cc, exec := ccSplit(threads)
+	workloads := []struct {
+		name  string
+		build func(tbl int) workload.Source
+	}{
+		{"transfer", func(tbl int) workload.Source {
+			return &workload.Transfer{Table: tbl, NumRecords: c.Records}
+		}},
+		{"ycsb-10rmw", func(tbl int) workload.Source {
+			return &workload.YCSB{Table: tbl, NumRecords: c.Records, OpsPerTxn: 10,
+				HotRecords: 64, HotOps: 2}
+		}},
+	}
+	for _, wl := range workloads {
+		fmt.Fprintf(c.Out, "\n%s workload (%d CC / %d exec threads):\n", wl.name, cc, exec)
+		fmt.Fprintf(c.Out, "%-12s %12s %14s %12s %12s %10s\n",
+			"batch_size", "tps", "messages", "enq_ops", "deq_ops", "msgs/enq")
+		for _, bs := range []int{1, 2, 4, 8, 16, 32} {
+			db, tbl := newYCSBDB(c)
+			eng := orthrus.New(orthrus.Config{DB: db, CCThreads: cc, ExecThreads: exec, BatchSize: bs})
+			res := point(c, eng, wl.build(tbl))
+			m := eng.Messages()
+			fmt.Fprintf(c.Out, "%-12d %12.0f %14d %12d %12d %10.2f\n",
+				bs, res.Throughput(), m.TotalMessages(), m.EnqueueOps, m.DequeueOps,
+				m.MessagesPerEnqueue())
+		}
+	}
+}
+
 // openloop: the serving-latency experiment enabled by the Runtime/Session
 // lifecycle (not a paper figure): the paper's high-contention YCSB
 // hot/cold workload offered to ORTHRUS at fixed Poisson arrival rates —

@@ -88,6 +88,7 @@ func Registry() []Experiment {
 		{"fig12a", "Figure 12(a)", "YCSB 10RMW scalability, low contention", fig12a},
 		{"fig12b", "Figure 12(b)", "YCSB 10RMW scalability, high contention", fig12b},
 		{"openloop", "Open loop", "commit-latency percentiles vs fixed Poisson arrival rate", openloop},
+		{"batching", "Extension", "message-plane ring operations and throughput vs BatchSize", batching},
 	}
 }
 

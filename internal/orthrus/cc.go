@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/spsc"
 	"repro/internal/txn"
 )
 
@@ -244,17 +245,38 @@ func (v sharedView) release(r *localReq, out []*localReq) []*localReq {
 // ccThread runs the tight request-processing loop of §3.3: drain input
 // rings round-robin, inserting lock requests, forwarding transactions up
 // the chain, granting completed ones, and releasing on commit.
+//
+// The message plane is batched (Config.BatchSize): each input ring is
+// drained into inbuf and acknowledged with one ring operation per batch,
+// and the forwards and grants generated while handling a drain pass are
+// coalesced per destination (fwdOut/grantOut) and published with one
+// ring operation per batch. Order within each ring is untouched — a
+// batch is published and consumed in send order — so the FIFO grant
+// order CC threads rely on is preserved.
 type ccThread struct {
 	s   *runState
 	id  int
 	tbl ccTable
+
+	batch    int
+	inbuf    []message   // batched drain buffer
+	fwdOut   [][]message // per-CC forward outbox (only ids > c.id used)
+	grantOut [][]message // per-exec grant outbox
+	ops      opCounter
 
 	reqPool []*localReq
 	granted []*localReq // scratch for release-time grants
 }
 
 func newCCThread(s *runState, id int) *ccThread {
-	c := &ccThread{s: s, id: id}
+	c := &ccThread{
+		s:        s,
+		id:       id,
+		batch:    s.cfg.BatchSize,
+		inbuf:    make([]message, s.cfg.BatchSize),
+		fwdOut:   make([][]message, s.cfg.CCThreads),
+		grantOut: make([][]message, s.cfg.ExecThreads),
+	}
 	if s.shared != nil {
 		c.tbl = sharedView{s.shared}
 	} else {
@@ -264,6 +286,7 @@ func newCCThread(s *runState, id int) *ccThread {
 }
 
 func (c *ccThread) loop() {
+	defer c.ops.flush(c.s)
 	var idle engine.IdleWaiter
 	for {
 		if c.drainAll() {
@@ -282,16 +305,14 @@ func (c *ccThread) loop() {
 	}
 }
 
-// drainAll processes every currently available message; reports progress.
+// drainAll processes every currently available message, publishes the
+// output it generated, and reports progress. Outboxes are always empty
+// when drainAll returns, so the thread never idles or exits on buffered
+// output.
 func (c *ccThread) drainAll() bool {
 	progress := false
 	for e := range c.s.execToCC {
-		for {
-			m, ok := c.s.execToCC[e][c.id].TryDequeue()
-			if !ok {
-				break
-			}
-			c.handle(m)
+		if c.drainRing(c.s.execToCC[e][c.id]) {
 			progress = true
 		}
 	}
@@ -300,16 +321,31 @@ func (c *ccThread) drainAll() bool {
 		if q == nil {
 			continue
 		}
-		for {
-			m, ok := q.TryDequeue()
-			if !ok {
-				break
-			}
-			c.handle(m)
+		if c.drainRing(q) {
 			progress = true
 		}
 	}
+	c.flushAll()
 	return progress
+}
+
+// drainRing batch-consumes one input ring until it is empty.
+func (c *ccThread) drainRing(q spsc.Queue[message]) bool {
+	progress := false
+	for {
+		n := q.DequeueBatch(c.inbuf)
+		if n == 0 {
+			return progress
+		}
+		c.ops.deq++
+		for i := 0; i < n; i++ {
+			c.handle(c.inbuf[i])
+		}
+		progress = true
+		if n < len(c.inbuf) {
+			return true
+		}
+	}
 }
 
 func (c *ccThread) handle(m message) {
@@ -354,15 +390,11 @@ func (c *ccThread) advance(w *wrapper) {
 		w.hopIdx++
 		next := w.hops[w.hopIdx]
 		c.s.nForwards.Add(1)
-		c.send(c.s.ccToCC[c.id][next], message{kind: msgAcquire, w: w})
+		c.pushForward(next, message{kind: msgAcquire, w: w})
 		return
 	}
-	// Grant rings are sized for the owner's full in-flight window, so
-	// this enqueue succeeds without blocking.
 	c.s.nGrants.Add(1)
-	if !c.s.ccToExec[c.id][w.owner].TryEnqueue(message{kind: msgAcquire, w: w}) {
-		c.send(c.s.ccToExec[c.id][w.owner], message{kind: msgAcquire, w: w})
-	}
+	c.pushGrant(w.owner, message{kind: msgAcquire, w: w})
 }
 
 // releaseTxn drops this CC thread's locks for w; newly granted requests
@@ -383,11 +415,55 @@ func (c *ccThread) releaseTxn(w *wrapper) {
 	}
 }
 
-// send enqueues to a CC-to-CC ring. Blocking here is safe: forwards flow
-// strictly from lower to higher CC ids, so the wait chain is acyclic and
-// the highest CC thread always makes progress.
-func (c *ccThread) send(q interface{ Enqueue(message) bool }, m message) {
-	q.Enqueue(m)
+// pushForward buffers a forwarded acquire for CC thread `to`, publishing
+// the outbox once it reaches the batch size.
+func (c *ccThread) pushForward(to int, m message) {
+	c.fwdOut[to] = append(c.fwdOut[to], m)
+	if len(c.fwdOut[to]) >= c.batch {
+		c.flushForward(to)
+	}
+}
+
+// flushForward publishes buffered forwards, spinning while the target
+// ring is full. Blocking here is safe: forwards flow strictly from lower
+// to higher CC ids, so the wait chain is acyclic and the highest CC
+// thread always makes progress — the same liveness argument the
+// unbatched plane relied on, since batching changes when messages are
+// published but not which rings can block.
+func (c *ccThread) flushForward(to int) {
+	flushOutbox(c.s.ccToCC[c.id][to], &c.fwdOut[to], &c.ops)
+}
+
+// pushGrant buffers a grant for exec thread `to`, publishing the outbox
+// once it reaches the batch size.
+func (c *ccThread) pushGrant(to int, m message) {
+	c.grantOut[to] = append(c.grantOut[to], m)
+	if len(c.grantOut[to]) >= c.batch {
+		c.flushGrant(to)
+	}
+}
+
+// flushGrant publishes buffered grants. Grant rings are sized for the
+// owner's full in-flight window and a transaction has at most one grant
+// outstanding anywhere, so buffered grants plus ring occupancy never
+// exceed capacity: the flush cannot block the liveness chain.
+func (c *ccThread) flushGrant(to int) {
+	flushOutbox(c.s.ccToExec[c.id][to], &c.grantOut[to], &c.ops)
+}
+
+// flushAll publishes every outbox. Handling happens only inside drain
+// passes, so a single sweep reaches empty.
+func (c *ccThread) flushAll() {
+	for to := range c.fwdOut {
+		if len(c.fwdOut[to]) > 0 {
+			c.flushForward(to)
+		}
+	}
+	for to := range c.grantOut {
+		if len(c.grantOut[to]) > 0 {
+			c.flushGrant(to)
+		}
+	}
 }
 
 func (c *ccThread) getReq() *localReq {

@@ -75,6 +75,7 @@ func (l *spinlock) unlock() { l.v.Store(0) }
 type Engine struct {
 	cfg   Config
 	locks []spinlock
+	inUse engine.InUseGuard
 }
 
 // New validates the configuration and returns an engine.
@@ -103,7 +104,7 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 
 // Start implements engine.Runtime.
 func (e *Engine) Start() engine.Session {
-	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(),
+	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse,
 		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
 			ids := engine.NewIDSource(thread)
 			ctx := &execCtx{db: e.cfg.DB}

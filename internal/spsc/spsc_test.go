@@ -1,6 +1,7 @@
 package spsc
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -118,6 +119,201 @@ func TestRingConcurrentFIFO(t *testing.T) {
 	wg.Wait()
 	if _, ok := r.TryDequeue(); ok {
 		t.Fatal("ring not empty after draining all elements")
+	}
+}
+
+// FIFO order must hold across arbitrarily mixed batch and single
+// enqueues/dequeues — batching changes how many atomic operations publish
+// the elements, never their order.
+func TestRingBatchMixedFIFO(t *testing.T) {
+	r := New[int](16)
+	next := 0 // next value to enqueue
+	mk := func(k int) []int {
+		vs := make([]int, k)
+		for i := range vs {
+			vs[i] = next
+			next++
+		}
+		return vs
+	}
+	if n := r.TryEnqueueBatch(mk(3)); n != 3 {
+		t.Fatalf("batch enqueue = %d, want 3", n)
+	}
+	if !r.TryEnqueue(next) {
+		t.Fatal("single enqueue failed")
+	}
+	next++
+	if n := r.TryEnqueueBatch(mk(5)); n != 5 {
+		t.Fatalf("batch enqueue = %d, want 5", n)
+	}
+
+	want := 0
+	buf := make([]int, 4)
+	if n := r.DequeueBatch(buf); n != 4 {
+		t.Fatalf("batch dequeue = %d, want 4", n)
+	}
+	for i := 0; i < 4; i++ {
+		if buf[i] != want {
+			t.Fatalf("batch dequeue[%d] = %d, want %d", i, buf[i], want)
+		}
+		want++
+	}
+	for i := 0; i < 2; i++ {
+		v, ok := r.TryDequeue()
+		if !ok || v != want {
+			t.Fatalf("single dequeue = (%d,%v), want (%d,true)", v, ok, want)
+		}
+		want++
+	}
+	if n := r.DequeueBatch(buf); n != 3 {
+		t.Fatalf("final batch dequeue = %d, want 3", n)
+	}
+	for i := 0; i < 3; i++ {
+		if buf[i] != want {
+			t.Fatalf("final dequeue[%d] = %d, want %d", i, buf[i], want)
+		}
+		want++
+	}
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("ring should be empty")
+	}
+}
+
+// A batch that spans the ring's physical boundary must wrap correctly:
+// enqueue/dequeue until the indices straddle the end of the backing
+// array, then push batches larger than the remaining linear space.
+func TestRingBatchWraparound(t *testing.T) {
+	r := New[int](8)
+	// Advance head/tail to 5 so a 6-element batch wraps past index 8.
+	for i := 0; i < 5; i++ {
+		r.TryEnqueue(-1)
+		r.TryDequeue()
+	}
+	vs := []int{10, 11, 12, 13, 14, 15}
+	if n := r.TryEnqueueBatch(vs); n != 6 {
+		t.Fatalf("wrapping batch enqueue = %d, want 6", n)
+	}
+	buf := make([]int, 6)
+	if n := r.DequeueBatch(buf); n != 6 {
+		t.Fatalf("wrapping batch dequeue = %d, want 6", n)
+	}
+	for i, v := range vs {
+		if buf[i] != v {
+			t.Fatalf("wrap dequeue[%d] = %d, want %d", i, buf[i], v)
+		}
+	}
+	// Exercise every phase offset for good measure.
+	for round := 0; round < 100; round++ {
+		if n := r.TryEnqueueBatch([]int{round, round + 1, round + 2}); n != 3 {
+			t.Fatalf("round %d: enqueue = %d", round, n)
+		}
+		if n := r.DequeueBatch(buf[:3]); n != 3 {
+			t.Fatalf("round %d: dequeue = %d", round, n)
+		}
+		if buf[0] != round || buf[1] != round+1 || buf[2] != round+2 {
+			t.Fatalf("round %d: got %v", round, buf[:3])
+		}
+	}
+}
+
+// A batch larger than the free space enqueues a prefix and reports the
+// short count; the remainder is the caller's to retry.
+func TestRingBatchPartial(t *testing.T) {
+	r := New[int](4)
+	r.TryEnqueue(0)
+	if n := r.TryEnqueueBatch([]int{1, 2, 3, 4, 5}); n != 3 {
+		t.Fatalf("partial enqueue = %d, want 3 (capacity 4, one used)", n)
+	}
+	if n := r.TryEnqueueBatch([]int{9}); n != 0 {
+		t.Fatalf("enqueue on full ring = %d, want 0", n)
+	}
+	buf := make([]int, 8)
+	if n := r.DequeueBatch(buf); n != 4 {
+		t.Fatalf("dequeue = %d, want 4", n)
+	}
+	for i := 0; i < 4; i++ {
+		if buf[i] != i {
+			t.Fatalf("dequeue[%d] = %d, want %d", i, buf[i], i)
+		}
+	}
+	if n := r.DequeueBatch(buf); n != 0 {
+		t.Fatalf("dequeue on empty ring = %d, want 0", n)
+	}
+	if n := r.TryEnqueueBatch(nil); n != 0 {
+		t.Fatalf("empty batch enqueue = %d, want 0", n)
+	}
+	if n := r.DequeueBatch(nil); n != 0 {
+		t.Fatalf("empty-buffer dequeue = %d, want 0", n)
+	}
+}
+
+// Concurrent batched producer against a batched consumer: exactly-once,
+// in-order delivery — the same guarantee TestRingConcurrentFIFO checks
+// for the single-element operations.
+func TestRingBatchConcurrentFIFO(t *testing.T) {
+	const n = 200000
+	r := New[int](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vs := make([]int, 0, 7)
+		sent := 0
+		for sent < n {
+			vs = vs[:0]
+			for k := 0; k < 7 && sent+len(vs) < n; k++ {
+				vs = append(vs, sent+len(vs))
+			}
+			for len(vs) > 0 {
+				m := r.TryEnqueueBatch(vs)
+				vs = vs[m:]
+				sent += m
+				if m == 0 {
+					runtime.Gosched() // full: let the consumer run
+				}
+			}
+		}
+	}()
+	buf := make([]int, 5)
+	want := 0
+	for want < n {
+		m := r.DequeueBatch(buf)
+		for i := 0; i < m; i++ {
+			if buf[i] != want {
+				t.Fatalf("out of order: got %d at position %d", buf[i], want)
+			}
+			want++
+		}
+		if m == 0 {
+			runtime.Gosched() // empty: let the producer run
+		}
+	}
+	wg.Wait()
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("ring not empty after draining all elements")
+	}
+}
+
+func TestChanBatchOps(t *testing.T) {
+	q := NewChan[int](4)
+	if n := q.TryEnqueueBatch([]int{1, 2, 3, 4, 5}); n != 4 {
+		t.Fatalf("batch enqueue = %d, want 4", n)
+	}
+	buf := make([]int, 3)
+	if n := q.DequeueBatch(buf); n != 3 {
+		t.Fatalf("batch dequeue = %d, want 3", n)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if buf[i] != want {
+			t.Fatalf("dequeue[%d] = %d, want %d", i, buf[i], want)
+		}
+	}
+	if n := q.DequeueBatch(buf); n != 1 || buf[0] != 4 {
+		t.Fatalf("tail dequeue = %d (%v), want 1 ([4 ...])", n, buf)
+	}
+	q.Close()
+	if n := q.TryEnqueueBatch([]int{9}); n != 0 {
+		t.Fatalf("batch enqueue on closed queue = %d, want 0", n)
 	}
 }
 

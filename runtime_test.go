@@ -157,6 +157,82 @@ func TestOpenLoopDriver(t *testing.T) {
 	}
 }
 
+// One live session per engine at a time: a second concurrent Start must
+// panic loudly (it would race on engine-level state), while sequential
+// Start→Close→Start reuse — what every Run call does — must work on all
+// four systems.
+func TestRuntimeSingleSessionContract(t *testing.T) {
+	for _, e := range allRuntimes(t) {
+		e := e
+		t.Run(e.rt.Name(), func(t *testing.T) {
+			src := &repro.Transfer{Table: e.tbl, NumRecords: 64}
+			rng := rand.New(rand.NewSource(1))
+
+			ses := e.rt.Start()
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("second concurrent Start did not panic")
+					}
+				}()
+				e.rt.Start()
+			}()
+
+			// Sequential restart: close the live session, start another,
+			// and prove the second session serves transactions correctly.
+			ses.Submit(src.Next(0, rng), nil)
+			ses.Drain()
+			ses.Close()
+
+			ses2 := e.rt.Start()
+			for i := 0; i < 50; i++ {
+				ses2.Submit(src.Next(0, rng), nil)
+			}
+			ses2.Drain()
+			res := ses2.Close()
+			if res.Totals.Committed != 50 {
+				t.Fatalf("restarted session committed %d, want 50", res.Totals.Committed)
+			}
+			if got := sumBalances(e.db, e.tbl, 64); got != 64*1000 {
+				t.Fatalf("sum = %d, want %d", got, 64*1000)
+			}
+
+			// Double Close must panic, not silently release the in-use
+			// guard a newer session may hold.
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("second Close did not panic")
+					}
+				}()
+				ses2.Close()
+			}()
+		})
+	}
+}
+
+// Submit on a closed session must panic instead of hanging against
+// stopped engine threads.
+func TestSubmitAfterClosePanics(t *testing.T) {
+	for _, e := range allRuntimes(t) {
+		e := e
+		t.Run(e.rt.Name(), func(t *testing.T) {
+			src := &repro.Transfer{Table: e.tbl, NumRecords: 64}
+			rng := rand.New(rand.NewSource(1))
+			ses := e.rt.Start()
+			ses.Submit(src.Next(0, rng), nil)
+			ses.Drain()
+			ses.Close()
+			defer func() {
+				if recover() == nil {
+					t.Error("Submit after Close did not panic")
+				}
+			}()
+			ses.Submit(src.Next(0, rng), nil)
+		})
+	}
+}
+
 // fixedSpread emits transactions touching exactly one key in each of k
 // partitions of a k-way hash partitioning — a deterministic footprint,
 // so message counts are exact.
