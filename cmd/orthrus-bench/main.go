@@ -6,13 +6,17 @@
 //	orthrus-bench -experiment fig4b
 //	orthrus-bench -experiment all -duration 1s -records 1000000 -threads 80
 //	orthrus-bench -experiment batching
+//	orthrus-bench -experiment adaptive -json bench-out
 //
 // Each experiment prints the same series the corresponding paper figure
 // plots; see README.md "Regenerating the paper's figures" for the expected shapes and
 // paper-vs-measured comparison. Beyond the figures, the openloop
-// experiment reports commit latency under offered load and the batching
+// experiment reports commit latency under offered load, the batching
 // experiment reports message-plane ring operations and throughput per
-// BatchSize.
+// BatchSize, and the adaptive experiment compares static vs elastic CC
+// routing across a mid-run hot-set shift. With -json <dir>, each
+// experiment's series is also written as JSON rows (one object per line)
+// to <dir>/BENCH_<id>.json for mechanical tracking across checkouts.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 		threads    = flag.Int("threads", 80, "cap on the thread-count axes (paper machine: 80 cores)")
 		items      = flag.Int("tpcc-items", 1000, "TPC-C items per warehouse (spec: 100,000)")
 		custs      = flag.Int("tpcc-customers", 100, "TPC-C customers per district (spec: 3,000)")
+		jsonDir    = flag.String("json", "", "also write each experiment's series as JSON rows to <dir>/BENCH_<id>.json")
 	)
 	flag.Parse()
 
@@ -61,7 +66,10 @@ func main() {
 
 	if *experiment == "all" {
 		for _, e := range harness.Registry() {
-			e.Run(cfg)
+			if err := harness.Run(e, cfg, *jsonDir); err != nil {
+				fmt.Fprintf(os.Stderr, "orthrus-bench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -70,5 +78,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "orthrus-bench: unknown experiment %q (try -list)\n", *experiment)
 		os.Exit(2)
 	}
-	e.Run(cfg)
+	if err := harness.Run(e, cfg, *jsonDir); err != nil {
+		fmt.Fprintf(os.Stderr, "orthrus-bench: %s: %v\n", e.ID, err)
+		os.Exit(1)
+	}
 }

@@ -347,6 +347,7 @@ func batching(c Config) {
 		fmt.Fprintf(c.Out, "\n%s workload (%d CC / %d exec threads):\n", wl.name, cc, exec)
 		fmt.Fprintf(c.Out, "%-12s %12s %14s %12s %12s %10s\n",
 			"batch_size", "tps", "messages", "enq_ops", "deq_ops", "msgs/enq")
+		var lastPerCC []orthrus.CCStats
 		for _, bs := range []int{1, 2, 4, 8, 16, 32} {
 			db, tbl := newYCSBDB(c)
 			eng := orthrus.New(orthrus.Config{DB: db, CCThreads: cc, ExecThreads: exec, BatchSize: bs})
@@ -355,7 +356,25 @@ func batching(c Config) {
 			fmt.Fprintf(c.Out, "%-12d %12.0f %14d %12d %12d %10.2f\n",
 				bs, res.Throughput(), m.TotalMessages(), m.EnqueueOps, m.DequeueOps,
 				m.MessagesPerEnqueue())
+			c.JSONRow(map[string]interface{}{
+				"workload": wl.name, "x_label": "batch_size", "x": bs,
+				"series": map[string]interface{}{
+					"tps": res.Throughput(), "messages": m.TotalMessages(),
+					"enq_ops": m.EnqueueOps, "deq_ops": m.DequeueOps,
+				},
+			})
+			lastPerCC = m.PerCC
 		}
+		// Per-CC-thread load breakdown of the last (most batched) run:
+		// the same counters the adaptive controller steers by.
+		fmt.Fprintf(c.Out, "per-CC breakdown (batch=32): ")
+		for i, cs := range lastPerCC {
+			if i > 0 {
+				fmt.Fprintf(c.Out, "  ")
+			}
+			fmt.Fprintf(c.Out, "cc%d handled=%d hiwater=%d parts=%d", i, cs.Handled(), cs.QueueHighWater, cs.Partitions)
+		}
+		fmt.Fprintln(c.Out)
 	}
 }
 
@@ -396,5 +415,13 @@ func openloop(c Config) {
 			res.Latency.Percentile(50).Microseconds(),
 			res.Latency.Percentile(99).Microseconds(),
 			res.MaxLag.Microseconds())
+		c.JSONRow(map[string]interface{}{
+			"x_label": "offered_pct", "x": pct,
+			"series": map[string]interface{}{
+				"rate": rate, "achieved": res.AchievedRate(),
+				"p50_us": res.Latency.Percentile(50).Microseconds(),
+				"p99_us": res.Latency.Percentile(99).Microseconds(),
+			},
+		})
 	}
 }

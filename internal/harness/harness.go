@@ -11,8 +11,11 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/engine"
@@ -35,7 +38,17 @@ type Config struct {
 	TPCCCustomers int
 	// Out receives the printed tables.
 	Out io.Writer
+
+	// json, when non-nil, receives one machine-readable object per
+	// printed series row. Set by Run; experiments never touch it
+	// directly (table rows are mirrored automatically, custom-format
+	// experiments call JSONRow).
+	json *jsonRecorder
 }
+
+// JSONRow emits one machine-readable row for experiments whose output
+// is not a plain series table. No-op unless JSON recording is on.
+func (c Config) JSONRow(row map[string]interface{}) { c.json.emit(row) }
 
 // Defaults fills zero fields with laptop-scale values.
 func (c Config) Defaults() Config {
@@ -89,6 +102,7 @@ func Registry() []Experiment {
 		{"fig12b", "Figure 12(b)", "YCSB 10RMW scalability, high contention", fig12b},
 		{"openloop", "Open loop", "commit-latency percentiles vs fixed Poisson arrival rate", openloop},
 		{"batching", "Extension", "message-plane ring operations and throughput vs BatchSize", batching},
+		{"adaptive", "Extension", "elastic vs static CC routing across a mid-run hot-set shift", adaptive},
 	}
 }
 
@@ -100,6 +114,51 @@ func Get(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// Run executes e under c. When jsonDir is non-empty, the experiment's
+// series is additionally written as JSON objects (one per line) to
+// jsonDir/BENCH_<id>.json, so the perf trajectory of a checkout can be
+// tracked mechanically across changes — the printed tables stay the
+// human-readable channel.
+func Run(e Experiment, c Config, jsonDir string) error {
+	if jsonDir == "" {
+		e.Run(c)
+		return nil
+	}
+	if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(jsonDir, "BENCH_"+e.ID+".json"))
+	if err != nil {
+		return err
+	}
+	rec := &jsonRecorder{id: e.ID, enc: json.NewEncoder(f)}
+	c.json = rec
+	e.Run(c)
+	if rec.err != nil {
+		f.Close()
+		return rec.err
+	}
+	return f.Close()
+}
+
+// jsonRecorder appends one JSON object per series row. A nil recorder is
+// a valid no-op sink, so emit sites need no guards.
+type jsonRecorder struct {
+	id  string
+	enc *json.Encoder
+	err error // first encode failure, surfaced by Run
+}
+
+func (r *jsonRecorder) emit(row map[string]interface{}) {
+	if r == nil {
+		return
+	}
+	row["experiment"] = r.id
+	if err := r.enc.Encode(row); err != nil && r.err == nil {
+		r.err = err
+	}
 }
 
 // --- shared helpers -------------------------------------------------------
@@ -132,14 +191,17 @@ func point(c Config, eng engine.Engine, src workload.Source) metrics.Result {
 	return eng.Run(src, c.Duration)
 }
 
-// table streams a formatted series table.
+// table streams a formatted series table, mirroring every row to the
+// JSON recorder when one is active.
 type table struct {
-	w    io.Writer
-	cols []string
+	w      io.Writer
+	cols   []string
+	xlabel string
+	rec    *jsonRecorder
 }
 
 func newTable(c Config, xlabel string, systems []string) *table {
-	t := &table{w: c.Out, cols: systems}
+	t := &table{w: c.Out, cols: systems, xlabel: xlabel, rec: c.json}
 	fmt.Fprintf(t.w, "%-14s", xlabel)
 	for _, s := range systems {
 		fmt.Fprintf(t.w, " %16s", s)
@@ -154,6 +216,15 @@ func (t *table) row(x interface{}, tps []float64) {
 		fmt.Fprintf(t.w, " %16.0f", v)
 	}
 	fmt.Fprintln(t.w)
+	if t.rec != nil {
+		series := make(map[string]interface{}, len(t.cols))
+		for i, col := range t.cols {
+			if i < len(tps) {
+				series[col] = tps[i]
+			}
+		}
+		t.rec.emit(map[string]interface{}{"x_label": t.xlabel, "x": x, "series": series})
+	}
 }
 
 func header(c Config, e string) {

@@ -2,6 +2,9 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -22,7 +25,7 @@ func tinyConfig(buf *bytes.Buffer) Config {
 func TestRegistryCoversEveryFigure(t *testing.T) {
 	want := []string{"fig1", "fig4a", "fig4b", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12a", "fig12b",
-		"openloop", "batching"}
+		"openloop", "batching", "adaptive"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
@@ -83,6 +86,46 @@ func TestCCSplit(t *testing.T) {
 		if cc != c.cc || exec != c.exec {
 			t.Errorf("ccSplit(%d) = (%d,%d), want (%d,%d)", c.in, cc, exec, c.cc, c.exec)
 		}
+	}
+}
+
+// Run with a JSON directory must leave a parseable BENCH_<id>.json whose
+// rows mirror the printed series.
+func TestRunWritesJSONRows(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	c := tinyConfig(&buf)
+	e, ok := Get("fig1")
+	if !ok {
+		t.Fatal("fig1 missing")
+	}
+	if err := Run(e, c, dir); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_fig1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON rows")
+	}
+	for _, line := range lines {
+		var row struct {
+			Experiment string                 `json:"experiment"`
+			XLabel     string                 `json:"x_label"`
+			Series     map[string]interface{} `json:"series"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("bad JSON row %q: %v", line, err)
+		}
+		if row.Experiment != "fig1" || row.XLabel != "threads" || len(row.Series) == 0 {
+			t.Fatalf("row content wrong: %q", line)
+		}
+	}
+	// JSON off: plain Run leaves no recorder and writes nothing.
+	if err := Run(e, tinyConfig(&buf), ""); err != nil {
+		t.Fatal(err)
 	}
 }
 

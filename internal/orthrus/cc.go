@@ -1,6 +1,7 @@
 package orthrus
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/engine"
@@ -10,14 +11,15 @@ import (
 
 // localReq is one record-lock request inside a CC thread's table. It is
 // created, queued, granted and released by the single CC thread that owns
-// the record's partition, so it carries no synchronization whatsoever —
-// the core of the paper's argument that partitioned functionality makes
-// concurrency-control metadata contention-free (§3.1).
+// the record's logical partition, so it carries no synchronization
+// whatsoever — the core of the paper's argument that partitioned
+// functionality makes concurrency-control metadata contention-free (§3.1).
 type localReq struct {
 	w       *wrapper
 	mode    txn.Mode
 	granted bool
 	key     lockKey
+	pid     int32 // logical partition, selects the owning shard
 
 	prev, next *localReq
 }
@@ -103,10 +105,10 @@ func (e *lentry) grantPrefix(out []*localReq) []*localReq {
 	return out
 }
 
-// ccTable abstracts the lock-table layout: private per-CC maps (the
+// ccTable abstracts the lock-table layout: private per-partition maps (the
 // ORTHRUS design) or one latched shared table (the §3.4 alternative).
-// Either way every key is operated on by exactly one CC thread, so the
-// grant bookkeeping stays single-owner.
+// Either way every key is operated on by exactly one CC thread at a time,
+// so the grant bookkeeping stays single-owner.
 type ccTable interface {
 	// insert queues r and reports whether it was granted immediately.
 	insert(r *localReq) bool
@@ -115,14 +117,17 @@ type ccTable interface {
 	release(r *localReq, out []*localReq) []*localReq
 }
 
-// privateTable is a latch-free map owned by one CC thread.
+// privateTable is a latch-free map owned — via its logical partition — by
+// exactly one CC thread at a time. It is the unit of migration: the whole
+// structure (entries and entry pool) is handed to the new owner over the
+// control plane, preserving its allocated capacity.
 type privateTable struct {
 	entries map[lockKey]*lentry
 	pool    []*lentry
 }
 
 func newPrivateTable() *privateTable {
-	return &privateTable{entries: make(map[lockKey]*lentry, 1024)}
+	return &privateTable{entries: make(map[lockKey]*lentry, 256)}
 }
 
 func (t *privateTable) insert(r *localReq) bool {
@@ -246,6 +251,14 @@ func (v sharedView) release(r *localReq, out []*localReq) []*localReq {
 // rings round-robin, inserting lock requests, forwarding transactions up
 // the chain, granting completed ones, and releasing on commit.
 //
+// Lock state is held as one privateTable per owned logical partition
+// (shards), so ownership of a partition — its lock table, waiter queues
+// and entry pool — can be detached and handed to another CC thread over
+// the control channel during a live migration (controller.go). Shards are
+// only ever touched by their current owner: the migration protocol drains
+// every in-flight chain before a handoff, so a detached shard is
+// guaranteed empty of requests.
+//
 // The message plane is batched (Config.BatchSize): each input ring is
 // drained into inbuf and acknowledged with one ring operation per batch,
 // and the forwards and grants generated while handling a drain pass are
@@ -254,15 +267,28 @@ func (v sharedView) release(r *localReq, out []*localReq) []*localReq {
 // batch is published and consumed in send order — so the FIFO grant
 // order CC threads rely on is preserved.
 type ccThread struct {
-	s   *runState
-	id  int
-	tbl ccTable
+	s  *runState
+	id int
+	// shards[pid] is the lock table for logical partition pid, non-nil
+	// only while this thread owns pid (created lazily on first use).
+	shards []*privateTable
+	shared ccTable // non-nil in SharedTable mode, used for every pid
+	ctrl   chan ccCtrl
 
 	batch    int
 	inbuf    []message   // batched drain buffer
 	fwdOut   [][]message // per-CC forward outbox (only ids > c.id used)
 	grantOut [][]message // per-exec grant outbox
 	ops      opCounter
+
+	// Per-pass accumulation of observability counters, flushed to the
+	// runState's per-thread atomics at the end of each drain pass so the
+	// hot path pays local increments, not shared atomic traffic, while
+	// the controller still sees near-live values.
+	nAcq, nFwd, nRel, nGrant uint64
+	passMsgs                 int
+	pidAcc                   []uint64 // per-pid op tally this pass
+	pidTouched               []int    // pids with nonzero pidAcc
 
 	reqPool []*localReq
 	granted []*localReq // scratch for release-time grants
@@ -272,24 +298,48 @@ func newCCThread(s *runState, id int) *ccThread {
 	c := &ccThread{
 		s:        s,
 		id:       id,
+		shards:   make([]*privateTable, s.cfg.LogicalPartitions),
+		ctrl:     s.ccCtrl[id],
 		batch:    s.cfg.BatchSize,
 		inbuf:    make([]message, s.cfg.BatchSize),
 		fwdOut:   make([][]message, s.cfg.CCThreads),
 		grantOut: make([][]message, s.cfg.ExecThreads),
+		pidAcc:   make([]uint64, s.cfg.LogicalPartitions),
 	}
 	if s.shared != nil {
-		c.tbl = sharedView{s.shared}
-	} else {
-		c.tbl = newPrivateTable()
+		c.shared = sharedView{s.shared}
 	}
 	return c
+}
+
+// table returns the lock table for logical partition pid.
+func (c *ccThread) table(pid int32) ccTable {
+	if c.shared != nil {
+		return c.shared
+	}
+	sh := c.shards[pid]
+	if sh == nil {
+		sh = newPrivateTable()
+		c.shards[pid] = sh
+	}
+	return sh
 }
 
 func (c *ccThread) loop() {
 	defer c.ops.flush(c.s)
 	var idle engine.IdleWaiter
 	for {
-		if c.drainAll() {
+		progress := c.drainAll()
+		// The control plane is rare-path: poll it between drain passes so
+		// shard handoffs interleave with — never interrupt — message
+		// handling.
+		select {
+		case m := <-c.ctrl:
+			c.handleCtrl(m)
+			progress = true
+		default:
+		}
+		if progress {
 			idle.Reset()
 			continue
 		}
@@ -306,13 +356,13 @@ func (c *ccThread) loop() {
 }
 
 // drainAll processes every currently available message, publishes the
-// output it generated, and reports progress. Outboxes are always empty
-// when drainAll returns, so the thread never idles or exits on buffered
-// output.
+// output it generated, flushes observability counters, and reports
+// progress. Outboxes are always empty when drainAll returns, so the
+// thread never idles or exits on buffered output.
 func (c *ccThread) drainAll() bool {
 	progress := false
 	for e := range c.s.execToCC {
-		if c.drainRing(c.s.execToCC[e][c.id]) {
+		if c.drainRing(c.s.execToCC[e][c.id], true) {
 			progress = true
 		}
 	}
@@ -321,16 +371,21 @@ func (c *ccThread) drainAll() bool {
 		if q == nil {
 			continue
 		}
-		if c.drainRing(q) {
+		if c.drainRing(q, false) {
 			progress = true
 		}
 	}
 	c.flushAll()
+	if progress {
+		c.flushStats()
+	}
 	return progress
 }
 
-// drainRing batch-consumes one input ring until it is empty.
-func (c *ccThread) drainRing(q spsc.Queue[message]) bool {
+// drainRing batch-consumes one input ring until it is empty. fromExec
+// distinguishes exec→CC rings (acquires and releases) from CC→CC rings
+// (forwarded acquires) for the per-thread message breakdown.
+func (c *ccThread) drainRing(q spsc.Queue[message], fromExec bool) bool {
 	progress := false
 	for {
 		n := q.DequeueBatch(c.inbuf)
@@ -338,8 +393,9 @@ func (c *ccThread) drainRing(q spsc.Queue[message]) bool {
 			return progress
 		}
 		c.ops.deq++
+		c.passMsgs += n
 		for i := 0; i < n; i++ {
-			c.handle(c.inbuf[i])
+			c.handle(c.inbuf[i], fromExec)
 		}
 		progress = true
 		if n < len(c.inbuf) {
@@ -348,13 +404,55 @@ func (c *ccThread) drainRing(q spsc.Queue[message]) bool {
 	}
 }
 
-func (c *ccThread) handle(m message) {
+func (c *ccThread) handle(m message, fromExec bool) {
 	switch m.kind {
 	case msgAcquire:
+		if fromExec {
+			c.nAcq++
+		} else {
+			c.nFwd++
+		}
 		c.acquire(m.w)
 	case msgRelease:
+		c.nRel++
 		c.releaseTxn(m.w)
 	}
+}
+
+// flushStats publishes this pass's locally accumulated counters to the
+// thread's live-stats slot and per-partition load tallies (what the
+// adaptive controller samples), and records the pass's message count as
+// a queue-backlog high-water mark.
+func (c *ccThread) flushStats() {
+	live := &c.s.ccLive[c.id]
+	if c.nAcq > 0 {
+		live.acquires.Add(c.nAcq)
+		c.nAcq = 0
+	}
+	if c.nFwd > 0 {
+		live.forwards.Add(c.nFwd)
+		c.nFwd = 0
+	}
+	if c.nRel > 0 {
+		live.releases.Add(c.nRel)
+		c.nRel = 0
+	}
+	if c.nGrant > 0 {
+		live.grants.Add(c.nGrant)
+		c.nGrant = 0
+	}
+	if hw := int64(c.passMsgs); hw > live.hiWater.Load() {
+		live.hiWater.Store(hw)
+	}
+	if int64(c.passMsgs) > live.hiWaterRun.Load() {
+		live.hiWaterRun.Store(int64(c.passMsgs))
+	}
+	c.passMsgs = 0
+	for _, pid := range c.pidTouched {
+		c.s.pidLoad[pid].Add(c.pidAcc[pid])
+		c.pidAcc[pid] = 0
+	}
+	c.pidTouched = c.pidTouched[:0]
 }
 
 // acquire inserts the wrapper's local lock requests. If all are granted
@@ -366,11 +464,13 @@ func (c *ccThread) acquire(w *wrapper) {
 	reqs := w.reqs[hop]
 	pending := 0
 	for _, op := range ops {
+		pid := c.s.pidOf(op.Table, op.Key)
 		r := c.getReq()
 		r.w = w
 		r.mode = op.Mode
 		r.key = lockKey{op.Table, op.Key}
-		if !c.tbl.insert(r) {
+		r.pid = int32(pid)
+		if !c.tallyAndInsert(pid, r) {
 			pending++
 		}
 		reqs = append(reqs, r)
@@ -380,6 +480,27 @@ func (c *ccThread) acquire(w *wrapper) {
 	if pending == 0 {
 		c.advance(w)
 	}
+}
+
+// tallyAndInsert records per-partition load and inserts the request into
+// the partition's shard, asserting this thread owns the partition under
+// the current routing epoch. The assertion cannot misfire during a
+// migration: ownership changes only after every chain planned under
+// older epochs has fully drained, so any acquire that reaches this
+// thread was routed by a table in which it is the owner — and the ring
+// transfer orders the routing-table load here after the publish the
+// sender observed.
+func (c *ccThread) tallyAndInsert(pid int, r *localReq) bool {
+	if c.pidAcc[pid] == 0 {
+		c.pidTouched = append(c.pidTouched, pid)
+	}
+	c.pidAcc[pid]++
+	if c.shared == nil {
+		if own := c.s.rt.Load().owner[pid]; int(own) != c.id {
+			panic(fmt.Sprintf("orthrus: CC thread %d received acquire for partition %d owned by %d", c.id, pid, own))
+		}
+	}
+	return c.table(r.pid).insert(r)
 }
 
 // advance forwards the transaction to the next CC thread in its chain
@@ -394,16 +515,19 @@ func (c *ccThread) advance(w *wrapper) {
 		return
 	}
 	c.s.nGrants.Add(1)
+	c.nGrant++
 	c.pushGrant(w.owner, message{kind: msgAcquire, w: w})
 }
 
 // releaseTxn drops this CC thread's locks for w; newly granted requests
-// may complete other transactions' chains.
+// may complete other transactions' chains. Processing the wrapper's final
+// release message retires its routing epoch — the signal the migration
+// protocol's drain barrier waits on.
 func (c *ccThread) releaseTxn(w *wrapper) {
 	hop := w.hopOf(c.id)
 	c.granted = c.granted[:0]
 	for _, r := range w.reqs[hop] {
-		c.granted = c.tbl.release(r, c.granted)
+		c.granted = c.table(r.pid).release(r, c.granted)
 		c.putReq(r)
 	}
 	w.reqs[hop] = nil
@@ -412,6 +536,35 @@ func (c *ccThread) releaseTxn(w *wrapper) {
 		if g.w.pending == 0 {
 			c.advance(g.w)
 		}
+	}
+	if w.releasesLeft.Add(-1) == 0 {
+		c.s.epochs.add(w.epoch, -1)
+	}
+}
+
+// handleCtrl executes one control-plane request on this thread, so shard
+// structures never have two owners.
+func (c *ccThread) handleCtrl(m ccCtrl) {
+	switch m.kind {
+	case ctrlDetach:
+		out := make([]*privateTable, len(m.pids))
+		for i, pid := range m.pids {
+			sh := c.shards[pid]
+			if sh != nil && len(sh.entries) != 0 {
+				panic(fmt.Sprintf("orthrus: detaching partition %d with %d live lock entries (migration before drain)", pid, len(sh.entries)))
+			}
+			out[i] = sh
+			c.shards[pid] = nil
+		}
+		m.reply <- out
+	case ctrlInstall:
+		for i, pid := range m.pids {
+			if c.shards[pid] != nil {
+				panic(fmt.Sprintf("orthrus: installing partition %d over a live shard", pid))
+			}
+			c.shards[pid] = m.shards[i]
+		}
+		m.reply <- nil
 	}
 }
 

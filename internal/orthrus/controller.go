@@ -1,0 +1,438 @@
+package orthrus
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Live partition migration and the adaptive controller.
+//
+// # Migration protocol
+//
+// Ownership of a logical partition moves between CC threads in three
+// steps, all driven from a single migrating goroutine (the controller, or
+// a test) under session.migrateMu:
+//
+//  1. Quiesce. Publish epoch E+1: same ownership as E, but the moving
+//     partitions are marked held. Execution threads that plan a
+//     transaction touching a held partition park it instead of
+//     submitting; everything else proceeds. A submit that raced the
+//     publish is caught by the register-then-recheck handshake in
+//     execThread.submit, so no chain can slip into flight under E after
+//     the barrier below has inspected E's slot.
+//  2. Drain. Wait until the epoch gauge shows zero in-flight
+//     lock-holding transactions for every epoch other than E+1. A
+//     wrapper's slot is only decremented when the CC thread processing
+//     its final release message retires it, so a zero slot means no
+//     transaction planned under that epoch holds locks and no message
+//     referencing one sits in any ring. Transactions planned under E+1
+//     cannot touch the held partitions, so the moving partitions' lock
+//     shards are now provably empty.
+//  3. Handoff + publish. Detach each moving shard from its owner and
+//     install it on the new owner over the per-CC control channels
+//     (executed by the owning threads between drain passes, so a shard
+//     never has two owners), then publish epoch E+2 with the new
+//     ownership and no held marks. Execution threads observing E+2
+//     replay their parked transactions under the new table.
+//
+// # Why deadlock freedom survives
+//
+// Within any single epoch, every transaction visits CC threads in
+// ascending id order, so the waits-for relation is acyclic — the paper's
+// §3.2 argument. Across epochs the argument needs one more step: a lock
+// can only be *waited on* by a transaction planned under the epoch that
+// routed it, and ownership changes only after the drain barrier has
+// emptied every older epoch. Chains from epoch E and chains from epoch
+// E+2 therefore never coexist inside the lock tables; chains from E+1
+// and E+2 share tables but also share the ownership view for every
+// partition E+2 did not move — and the moved partitions entered E+2
+// empty. So at every instant the waits-for graph is ordered by a single
+// consistent CC-id order, and no cycle can form.
+//
+// # Adaptive controller
+//
+// The controller samples per-logical-partition op counts (runState.
+// pidLoad) and per-CC-thread drain-pass high-water marks (ccLiveStats)
+// every Interval, then: (a) grows the active CC set when a backlogged
+// thread shows a drain pass at least GrowWater messages deep, (b)
+// shrinks it when every active thread's deepest pass is under
+// ShrinkWater, and (c) rebalances partitions so no active thread's
+// sampled load exceeds Slack× the active-set mean, moving at most
+// MaxMoves partitions per tick (hottest first). This is the paper's
+// Figure 5 provisioning argument made continuous: CC capacity follows
+// the workload instead of being fixed at Start.
+
+// ControllerConfig tunes the adaptive controller. The zero value leaves
+// the controller disabled; Enable with everything else zero uses the
+// defaults noted per field.
+type ControllerConfig struct {
+	// Enable turns the controller on.
+	Enable bool
+	// Interval is the sampling period (default 2ms).
+	Interval time.Duration
+	// Slack is the tolerated per-thread load imbalance: a rebalance
+	// triggers when some active thread's sampled load exceeds Slack ×
+	// the active-set mean (default 1.3).
+	Slack float64
+	// MaxMoves caps the partitions migrated per tick (default 4).
+	MaxMoves int
+	// MinSample is the minimum sampled op count per tick worth acting
+	// on; quieter ticks are ignored (default 64).
+	MinSample int
+	// MinActive floors the active CC thread count when shrinking
+	// (default 1).
+	MinActive int
+	// GrowWater: a drain pass this deep (messages handled in one pass
+	// over a thread's input rings) marks the thread backlogged and grows
+	// the active set (default QueueCap/2).
+	GrowWater int
+	// ShrinkWater: when every active thread's deepest pass stays below
+	// this for ShrinkPatience consecutive ticks, one thread is retired
+	// from the active set (default QueueCap/8).
+	ShrinkWater int
+	// ShrinkPatience is the consecutive quiet ticks required before a
+	// shrink — hysteresis so a momentary lull does not concentrate a
+	// busy lock space onto fewer threads (default 25).
+	ShrinkPatience int
+}
+
+// withDefaults validates the knobs and fills zeros. queueCap is the
+// engine's (already defaulted) ring capacity, which anchors the
+// backlog water marks.
+func (c ControllerConfig) withDefaults(queueCap int) ControllerConfig {
+	if c.Interval < 0 || c.Slack < 0 || c.MaxMoves < 0 || c.MinSample < 0 ||
+		c.MinActive < 0 || c.GrowWater < 0 || c.ShrinkWater < 0 || c.ShrinkPatience < 0 {
+		panic(fmt.Sprintf("orthrus: ControllerConfig knobs must not be negative (got %+v; 0 means default)", c))
+	}
+	if c.Interval == 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.Slack == 0 {
+		c.Slack = 1.3
+	}
+	if c.MaxMoves == 0 {
+		c.MaxMoves = 4
+	}
+	if c.MinSample == 0 {
+		c.MinSample = 64
+	}
+	if c.MinActive == 0 {
+		c.MinActive = 1
+	}
+	if c.GrowWater == 0 {
+		c.GrowWater = queueCap / 2
+	}
+	if c.ShrinkWater == 0 {
+		c.ShrinkWater = queueCap / 8
+	}
+	if c.ShrinkPatience == 0 {
+		c.ShrinkPatience = 25
+	}
+	return c
+}
+
+// ControllerStats reports the adaptive controller's activity over one
+// session.
+type ControllerStats struct {
+	Samples         uint64 // sampling ticks taken
+	Migrations      uint64 // migrations executed (epoch pairs published)
+	PartitionsMoved uint64 // logical partitions that changed owner
+	Grows           uint64 // active-set growth events
+	Shrinks         uint64 // active-set shrink events
+	ActiveCC        int    // active CC threads when the session closed
+	FinalEpoch      uint64 // routing epoch when the session closed
+}
+
+// controller is the per-session adaptive controller goroutine.
+type controller struct {
+	ses *session
+	cfg ControllerConfig
+
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	active   int      // CC threads load is currently packed onto: ids [0, active)
+	quiet    int      // consecutive ticks below ShrinkWater (shrink hysteresis)
+	lastLoad []uint64 // pidLoad snapshot at the previous tick
+	stats    ControllerStats
+}
+
+func newController(ses *session, cfg ControllerConfig) *controller {
+	// Start with the full CC set active: the active-set model is the id
+	// prefix [0, active), so anything narrower would mark threads the
+	// user's initial Routing may deliberately use as deactivated and
+	// evacuate them on the first tick. Shrinking from full strength is
+	// the controller's job, on load evidence.
+	return &controller{
+		ses:      ses,
+		cfg:      cfg,
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+		active:   ses.s.cfg.CCThreads,
+		lastLoad: make([]uint64, ses.s.cfg.LogicalPartitions),
+	}
+}
+
+// stop halts the controller, waiting for any in-progress migration to
+// complete — so no partition is left quiesced and the final routing
+// table has no held marks. Called from session.Close before the
+// execution threads are retired (they must keep running for a mid-flight
+// migration's drain barrier to pass).
+func (ct *controller) stop() {
+	close(ct.stopCh)
+	<-ct.doneCh
+}
+
+func (ct *controller) loop() {
+	defer close(ct.doneCh)
+	ticker := time.NewTicker(ct.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ct.stopCh:
+			ct.stats.ActiveCC = ct.active
+			ct.stats.FinalEpoch = ct.ses.s.rt.Load().epoch
+			return
+		case <-ticker.C:
+			ct.tick()
+		}
+	}
+}
+
+// tick takes one load sample and, when warranted, resizes the active set
+// and rebalances partition ownership.
+func (ct *controller) tick() {
+	s := ct.ses.s
+	ct.stats.Samples++
+
+	// Per-partition load delta since the last tick.
+	delta := make([]uint64, len(ct.lastLoad))
+	var total uint64
+	for pid := range delta {
+		cur := s.pidLoad[pid].Load()
+		delta[pid] = cur - ct.lastLoad[pid]
+		ct.lastLoad[pid] = cur
+		total += delta[pid]
+	}
+
+	// Per-CC backlog high-water marks since the last tick (reset on read).
+	deepest := 0
+	for i := range s.ccLive {
+		if hw := int(s.ccLive[i].hiWater.Swap(0)); hw > deepest {
+			deepest = hw
+		}
+	}
+
+	if total < uint64(ct.cfg.MinSample) {
+		return // too quiet to steer on
+	}
+
+	// Grow or shrink the active set on backlog evidence. Growth is
+	// immediate (a backlogged thread is losing throughput right now);
+	// shrinking waits for a sustained lull so a busy lock space is never
+	// concentrated on momentary evidence.
+	switch {
+	case deepest >= ct.cfg.GrowWater:
+		ct.quiet = 0
+		if ct.active < s.cfg.CCThreads {
+			ct.active++
+			ct.stats.Grows++
+		}
+	case deepest < ct.cfg.ShrinkWater:
+		ct.quiet++
+		if ct.quiet >= ct.cfg.ShrinkPatience && ct.active > ct.cfg.MinActive {
+			ct.quiet = 0
+			ct.active--
+			ct.stats.Shrinks++
+		}
+	default:
+		ct.quiet = 0
+	}
+
+	moves := ct.plan(delta, total)
+	if len(moves) == 0 {
+		return
+	}
+	pids := make([]int, 0, len(moves))
+	dests := make([]int, 0, len(moves))
+	for _, m := range moves {
+		pids = append(pids, m.pid)
+		dests = append(dests, m.to)
+	}
+	if n := ct.ses.migrate(pids, dests); n > 0 {
+		ct.stats.Migrations++
+		ct.stats.PartitionsMoved += uint64(n)
+	}
+}
+
+type move struct {
+	pid, to int
+	load    uint64
+}
+
+// plan computes at most MaxMoves ownership changes that (a) evacuate
+// partitions owned by threads outside the active set and (b) cut the
+// load of any thread exceeding Slack× the active-set mean, moving the
+// most-loaded partitions first.
+func (ct *controller) plan(delta []uint64, total uint64) []move {
+	s := ct.ses.s
+	rt := s.rt.Load()
+	active := ct.active
+
+	loads := make([]uint64, s.cfg.CCThreads)
+	owned := make([][]int, s.cfg.CCThreads) // pids per owner, for donor picks
+	for pid, o := range rt.owner {
+		loads[o] += delta[pid]
+		owned[o] = append(owned[o], pid)
+	}
+	argminActive := func() int {
+		best := 0
+		for c := 1; c < active; c++ {
+			if loads[c] < loads[best] {
+				best = c
+			}
+		}
+		return best
+	}
+
+	var moves []move
+	// Evacuate deactivated threads, heaviest partitions first so load
+	// lands where it balances best.
+	for c := active; c < s.cfg.CCThreads; c++ {
+		sort.Slice(owned[c], func(i, j int) bool { return delta[owned[c][i]] > delta[owned[c][j]] })
+		for _, pid := range owned[c] {
+			if len(moves) >= ct.cfg.MaxMoves {
+				break
+			}
+			to := argminActive()
+			moves = append(moves, move{pid: pid, to: to, load: delta[pid]})
+			loads[to] += delta[pid]
+			loads[c] -= delta[pid]
+		}
+	}
+
+	// Rebalance within the active set: shave the most loaded thread by
+	// handing its hottest movable partition to the least loaded, as long
+	// as the move actually reduces the pairwise maximum.
+	mean := float64(total) / float64(active)
+	for len(moves) < ct.cfg.MaxMoves {
+		src := 0
+		for c := 1; c < active; c++ {
+			if loads[c] > loads[src] {
+				src = c
+			}
+		}
+		if float64(loads[src]) <= ct.cfg.Slack*mean {
+			break
+		}
+		dst := argminActive()
+		if dst == src {
+			break
+		}
+		gap := loads[src] - loads[dst]
+		// Best donor: the hottest partition still smaller than the gap
+		// (moving anything bigger would just swap the imbalance).
+		best, bestLoad := -1, uint64(0)
+		for _, pid := range owned[src] {
+			l := delta[pid]
+			if l < gap && l > bestLoad {
+				best, bestLoad = pid, l
+			}
+		}
+		if best < 0 {
+			break // src's load is one indivisible hot partition
+		}
+		moves = append(moves, move{pid: best, to: dst, load: bestLoad})
+		loads[src] -= bestLoad
+		loads[dst] += bestLoad
+		// Remove the donor pid from src's owned list.
+		for i, pid := range owned[src] {
+			if pid == best {
+				owned[src] = append(owned[src][:i], owned[src][i+1:]...)
+				break
+			}
+		}
+	}
+	return moves
+}
+
+// migrate executes the three-step migration protocol, handing ownership
+// of each pids[i] to CC thread dests[i]. No-op moves (already owned by
+// the destination) are filtered; the epoch pair is published only when
+// at least one partition actually moves. Returns the number of
+// partitions that changed owner. Safe to call from any single goroutine
+// at a time per session; concurrent callers serialize on migrateMu.
+func (ses *session) migrate(pids []int, dests []int) int {
+	if len(pids) != len(dests) {
+		panic("orthrus: migrate pids/dests length mismatch")
+	}
+	ses.migrateMu.Lock()
+	defer ses.migrateMu.Unlock()
+
+	s := ses.s
+	rt := s.rt.Load()
+	held := make([]bool, s.cfg.LogicalPartitions)
+	moved := 0
+	byOwner := make(map[int][]int) // current owner → moving pids
+	newOwner := make([]int32, len(rt.owner))
+	copy(newOwner, rt.owner)
+	for i, pid := range pids {
+		if pid < 0 || pid >= s.cfg.LogicalPartitions {
+			panic(fmt.Sprintf("orthrus: migrate of partition %d outside [0,%d)", pid, s.cfg.LogicalPartitions))
+		}
+		to := dests[i]
+		if to < 0 || to >= s.cfg.CCThreads {
+			panic(fmt.Sprintf("orthrus: migrate of partition %d to CC thread %d outside [0,%d)", pid, to, s.cfg.CCThreads))
+		}
+		from := int(rt.owner[pid])
+		if from == to || held[pid] {
+			continue
+		}
+		held[pid] = true
+		newOwner[pid] = int32(to)
+		byOwner[from] = append(byOwner[from], pid)
+		moved++
+	}
+	if moved == 0 {
+		return 0
+	}
+
+	// 1. Quiesce: same ownership, moving partitions held.
+	quiesce := &routingTable{epoch: rt.epoch + 1, owner: rt.owner, held: held}
+	s.rt.Store(quiesce)
+
+	// 2. Drain: wait for every chain planned under an older epoch to
+	// fully retire (final release processed ⇒ nothing referencing it in
+	// any ring). Execution and CC threads keep running, so this
+	// terminates; spin politely.
+	for spins := 0; !s.epochs.drainedExcept(quiesce.epoch); spins++ {
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+
+	// 3. Handoff: detach the now-empty shards from their owners, install
+	// them on the destinations, then publish the new ownership.
+	owners := make([]int, 0, len(byOwner))
+	for from := range byOwner {
+		owners = append(owners, from)
+	}
+	sort.Ints(owners)
+	reply := make(chan []*privateTable, 1)
+	for _, from := range owners {
+		group := byOwner[from]
+		s.ccCtrl[from] <- ccCtrl{kind: ctrlDetach, pids: group, reply: reply}
+		shards := <-reply
+		for i, pid := range group {
+			to := int(newOwner[pid])
+			s.ccCtrl[to] <- ccCtrl{kind: ctrlInstall, pids: []int{pid}, shards: []*privateTable{shards[i]}, reply: reply}
+			<-reply
+		}
+	}
+	s.rt.Store(&routingTable{epoch: quiesce.epoch + 1, owner: newOwner})
+	return moved
+}

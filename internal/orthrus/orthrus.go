@@ -4,11 +4,19 @@
 //
 // # Architecture
 //
-// A fixed set of concurrency-control (CC) threads each own a disjoint
-// slice of the lock space (Partition maps every record to exactly one CC
-// thread). Each CC thread keeps a private lock table — a plain map with no
-// latches, because no other thread ever reads or writes it. A fixed set of
-// execution threads run transaction logic and never touch lock state.
+// A fixed set of concurrency-control (CC) threads own disjoint slices of
+// the lock space. Routing is two-level: a static hash maps every record
+// to one of P fixed logical partitions (P ≫ CC threads), and an
+// epoch-versioned routing table maps each logical partition to its
+// current owning CC thread (routing.go). Each CC thread keeps one private
+// lock table per owned partition — plain maps with no latches, because
+// no other thread ever reads or writes them — and ownership of a
+// partition can be handed to another CC thread at runtime (live
+// migration, controller.go), which is what lets concurrency-control
+// capacity be re-provisioned to follow a shifting workload: the paper's
+// Figure 5 observation that the right CC:exec ratio is workload-dependent,
+// made adjustable while the engine serves. A fixed set of execution
+// threads run transaction logic and never touch lock state.
 //
 // The two groups share no data structures; they communicate through
 // single-producer single-consumer rings (internal/spsc), one per ordered
@@ -21,14 +29,17 @@
 //
 // # Lock acquisition
 //
-// An execution thread sorts a transaction's declared access set by CC
-// thread id, then sends one acquire message to the lowest CC involved.
-// Each CC inserts its local requests, and once all are granted forwards
-// the transaction to the next CC in the chain; the last CC notifies the
+// An execution thread resolves a transaction's declared access set
+// through the current routing table, sorts the owning CC threads by id,
+// then sends one acquire message to the lowest CC involved. Each CC
+// inserts its local requests, and once all are granted forwards the
+// transaction to the next CC in the chain; the last CC notifies the
 // owning execution thread — Ncc+1 messages instead of 2·Ncc (§3.3,
 // Figure 3). Because every transaction visits CC threads in ascending id
-// order, and each CC thread admits transactions one message at a time,
-// the waits-for relation cannot form a cycle: deadlock is impossible.
+// order under the routing epoch it was planned in, and ownership changes
+// only after every chain from older epochs has drained (see the
+// migration protocol in controller.go), the waits-for relation cannot
+// form a cycle: deadlock is impossible.
 //
 // Execution threads are asynchronous (§3.3): each keeps a window of
 // in-flight transactions and keeps submitting new ones while waiting for
@@ -38,10 +49,11 @@
 // # Lifecycle
 //
 // The engine implements engine.Runtime: Start launches the CC and
-// execution threads and returns a Session whose Submit feeds transactions
-// from any caller — a benchmark driver or a server front-end — into the
-// execution threads' asynchronous windows. Engine.Run is just the shared
-// closed-loop driver over that session.
+// execution threads (and, when enabled, the adaptive controller) and
+// returns a Session whose Submit feeds transactions from any caller — a
+// benchmark driver or a server front-end — into the execution threads'
+// asynchronous windows. Engine.Run is just the shared closed-loop driver
+// over that session.
 package orthrus
 
 import (
@@ -61,21 +73,42 @@ import (
 
 // Defaults.
 const (
-	DefaultQueueCap  = 256
-	DefaultInflight  = 8
+	DefaultQueueCap = 256
+	DefaultInflight = 8
+	// DefaultBatchSize is the message-plane batching factor.
 	DefaultBatchSize = 8
+	// DefaultPartitionFactor sizes the logical partition space relative to
+	// the CC thread count: LogicalPartitions defaults to this many
+	// partitions per CC thread, so ownership can move at sub-thread
+	// granularity.
+	DefaultPartitionFactor = 4
 )
 
 // Config configures an ORTHRUS engine.
 type Config struct {
 	DB *storage.DB
 	// CCThreads and ExecThreads partition the machine's threads between
-	// the two roles (Figure 5 explores this trade-off).
+	// the two roles (Figure 5 explores this trade-off). CCThreads is the
+	// ceiling on concurrency-control provisioning; the adaptive controller
+	// may concentrate ownership on fewer threads (the rest idle).
 	CCThreads   int
 	ExecThreads int
-	// Partition maps records to CC threads. Defaults to
-	// txn.HashPartitioner(CCThreads).
+	// Partition is the static level of two-level routing: record →
+	// logical partition. Its result is folded modulo LogicalPartitions.
+	// Defaults to txn.HashPartitioner(LogicalPartitions).
 	Partition txn.PartitionFunc
+	// LogicalPartitions is the size P of the fixed logical partition
+	// space. Defaults to DefaultPartitionFactor × CCThreads. With the
+	// default Partition and Routing the composed record → CC mapping is
+	// identical to the historical HashPartitioner(CCThreads).
+	LogicalPartitions int
+	// Routing is the initial logical partition → CC thread assignment
+	// (len LogicalPartitions, entries in [0, CCThreads)). Defaults to
+	// pid mod CCThreads.
+	Routing []int
+	// Controller configures the adaptive controller that samples per-CC
+	// load and migrates partitions at runtime. Zero value = disabled.
+	Controller ControllerConfig
 	// QueueCap is the ring capacity (default 256).
 	QueueCap int
 	// Inflight is each execution thread's asynchronous window (default 8).
@@ -111,6 +144,30 @@ type Config struct {
 	DisableForwarding bool
 }
 
+// CCStats is one CC thread's share of the message plane — the per-thread
+// load breakdown the adaptive controller steers by and the batching
+// experiment reports. Acquires, Forwards and Releases count messages this
+// thread handled (received and processed); Grants counts grants it
+// issued. Summed across threads they equal the corresponding MessageStats
+// totals — a conservation check the test suite asserts.
+type CCStats struct {
+	Acquires uint64 // exec → this CC acquire messages handled
+	Forwards uint64 // CC → this CC forwarded acquires handled
+	Releases uint64 // release messages handled
+	Grants   uint64 // grant messages issued by this CC
+	// QueueHighWater is the largest number of messages drained in one
+	// pass over this thread's input rings — a backlog proxy: a thread
+	// that keeps up drains small batches, a bottleneck thread finds its
+	// rings full.
+	QueueHighWater int
+	// Partitions is the number of logical partitions the thread owned
+	// when the session closed.
+	Partitions int
+}
+
+// Handled returns the messages this CC thread processed.
+func (s CCStats) Handled() uint64 { return s.Acquires + s.Forwards + s.Releases }
+
 // MessageStats counts message-plane traffic for one Run (the quantity
 // §3.3 optimizes: forwarding reduces per-acquisition messages from 2·Ncc
 // to Ncc+1).
@@ -133,6 +190,11 @@ type MessageStats struct {
 	// there.
 	EnqueueOps uint64
 	DequeueOps uint64
+
+	// PerCC is the per-CC-thread breakdown (receive-side counted, so
+	// summing a field across PerCC cross-checks the send-side totals
+	// above).
+	PerCC []CCStats
 }
 
 // AcquisitionMessages returns the messages spent acquiring locks
@@ -170,11 +232,14 @@ type message struct {
 
 // wrapper carries a transaction through the CC chain. Field ownership:
 //
-//   - owner, hops, opsByCC, t, done: written by the owning exec thread
-//     before submission, read-only afterwards.
+//   - owner, hops, opsByCC, epoch, t, done: written by the owning exec
+//     thread before submission, read-only afterwards.
 //   - hopIdx, pending: touched only by the CC thread currently processing
 //     the wrapper (exactly one at any time — the chain is sequential).
 //   - reqs[i]: written and read only by CC thread hops[i].
+//   - releasesLeft: atomically decremented by each CC thread processing
+//     one of the wrapper's release messages; the thread that takes it to
+//     zero retires the wrapper's routing epoch (see epochGauge).
 //
 // Ring transfer provides the happens-before edges between owners.
 type wrapper struct {
@@ -183,12 +248,14 @@ type wrapper struct {
 	start time.Time  // window-entry time, for commit-latency measurement
 	done  func(bool) // session completion callback; may be nil
 
+	epoch   uint64     // routing epoch the chain was planned under
 	hops    []int      // CC ids, ascending
 	opsByCC [][]txn.Op // parallel to hops
 	reqs    [][]*localReq
 
-	hopIdx  int
-	pending int
+	hopIdx       int
+	pending      int
+	releasesLeft atomic.Int32
 }
 
 // hopOf returns the index of CC thread c in the wrapper's chain.
@@ -204,7 +271,8 @@ func (w *wrapper) hopOf(c int) int {
 // Engine is an ORTHRUS instance.
 type Engine struct {
 	cfg   Config
-	msgs  MessageStats // populated when a session closes
+	msgs  MessageStats    // populated when a session closes
+	ctrl  ControllerStats // populated when a session closes
 	inUse engine.InUseGuard
 }
 
@@ -212,23 +280,54 @@ type Engine struct {
 // (every Run closes its session before returning).
 func (e *Engine) Messages() MessageStats { return e.msgs }
 
-// New validates the configuration and returns an engine.
+// ControllerStats returns the adaptive controller's activity during the
+// last closed session (zero when the controller was disabled).
+func (e *Engine) ControllerStats() ControllerStats { return e.ctrl }
+
+// New validates the configuration and returns an engine. Negative values
+// for fields whose zero value means "use the default" (QueueCap,
+// Inflight, BatchSize, LogicalPartitions, and the controller's knobs) are
+// rejected here with a clear panic rather than surfacing as a hang or an
+// index fault deep inside ring or table construction.
 func New(cfg Config) *Engine {
 	if cfg.CCThreads <= 0 || cfg.ExecThreads <= 0 {
 		panic("orthrus: CCThreads and ExecThreads must be positive")
 	}
-	if cfg.Partition == nil {
-		cfg.Partition = txn.HashPartitioner(cfg.CCThreads)
+	if cfg.QueueCap < 0 {
+		panic(fmt.Sprintf("orthrus: QueueCap must not be negative (got %d; 0 means default)", cfg.QueueCap))
 	}
-	if cfg.QueueCap <= 0 {
+	if cfg.Inflight < 0 {
+		panic(fmt.Sprintf("orthrus: Inflight must not be negative (got %d; 0 means default)", cfg.Inflight))
+	}
+	if cfg.BatchSize < 0 {
+		panic(fmt.Sprintf("orthrus: BatchSize must not be negative (got %d; 0 means default)", cfg.BatchSize))
+	}
+	if cfg.LogicalPartitions < 0 {
+		panic(fmt.Sprintf("orthrus: LogicalPartitions must not be negative (got %d; 0 means default)", cfg.LogicalPartitions))
+	}
+	if cfg.QueueCap == 0 {
 		cfg.QueueCap = DefaultQueueCap
 	}
-	if cfg.Inflight <= 0 {
+	if cfg.Inflight == 0 {
 		cfg.Inflight = DefaultInflight
 	}
-	if cfg.BatchSize <= 0 {
+	if cfg.BatchSize == 0 {
 		cfg.BatchSize = DefaultBatchSize
 	}
+	if cfg.LogicalPartitions == 0 {
+		cfg.LogicalPartitions = DefaultPartitionFactor * cfg.CCThreads
+	}
+	if cfg.Partition == nil {
+		cfg.Partition = txn.HashPartitioner(cfg.LogicalPartitions)
+	}
+	if cfg.Routing != nil {
+		owner := make([]int32, len(cfg.Routing))
+		for i, o := range cfg.Routing {
+			owner[i] = int32(o)
+		}
+		validateRouting(owner, cfg.LogicalPartitions, cfg.CCThreads)
+	}
+	cfg.Controller = cfg.Controller.withDefaults(cfg.QueueCap)
 	return &Engine{cfg: cfg}
 }
 
@@ -244,7 +343,27 @@ func (e *Engine) Name() string {
 	if e.cfg.UseChannels {
 		base += "-chan"
 	}
+	if e.cfg.Controller.Enable {
+		base += "-elastic"
+	}
 	return fmt.Sprintf("%s(%dcc/%dex)", base, e.cfg.CCThreads, e.cfg.ExecThreads)
+}
+
+// ccLiveStats is one CC thread's live observability slot: flushed to by
+// the owning thread once per drain pass, sampled by the controller while
+// the session runs, harvested into CCStats at close. Padded so slots of
+// adjacent threads never false-share.
+type ccLiveStats struct {
+	acquires atomic.Uint64
+	forwards atomic.Uint64
+	releases atomic.Uint64
+	grants   atomic.Uint64
+	// hiWater is the per-pass drained-message high-water mark since the
+	// controller's last sample (the controller resets it each tick);
+	// hiWaterRun is the same mark over the whole session.
+	hiWater    atomic.Int64
+	hiWaterRun atomic.Int64
+	_          [64]byte
 }
 
 // runState is per-Run message-plane state.
@@ -256,6 +375,18 @@ type runState struct {
 	shared   *sharedTable            // non-nil in SharedTable mode
 	ccStop   atomic.Bool
 
+	// Two-level routing: rt is the current epoch's logical-partition →
+	// CC-thread table; epochs tracks in-flight transactions per routing
+	// epoch (the migration drain barrier); ccCtrl carries shard handoffs.
+	rt     atomic.Pointer[routingTable]
+	epochs epochGauge
+	ccCtrl []chan ccCtrl
+
+	// Controller inputs: per-logical-partition op load and per-CC-thread
+	// live counters.
+	pidLoad []atomic.Uint64
+	ccLive  []ccLiveStats
+
 	// message-plane counters (MessageStats after the run)
 	nAcquires atomic.Uint64
 	nForwards atomic.Uint64
@@ -266,6 +397,15 @@ type runState struct {
 	// saves).
 	nEnqOps atomic.Uint64
 	nDeqOps atomic.Uint64
+}
+
+// pidOf resolves the static routing level: record → logical partition.
+// The raw partitioner is folded modulo the logical partition count so a
+// partitioner with a wider range than the engine (e.g. an Autotune probe
+// of a smaller candidate split) can never silently drop an op — every
+// declared lock must be acquired.
+func (s *runState) pidOf(table int, key uint64) int {
+	return s.cfg.Partition(table, key) % s.cfg.LogicalPartitions
 }
 
 // opCounter is a thread-local tally of ring operations, flushed to the
@@ -320,6 +460,20 @@ func (e *Engine) newRunState() *runState {
 	if cfg.SharedTable {
 		s.shared = newSharedTable(1 << 12)
 	}
+
+	owner := defaultRouting(cfg.LogicalPartitions, cfg.CCThreads)
+	if cfg.Routing != nil {
+		for i, o := range cfg.Routing {
+			owner[i] = int32(o)
+		}
+	}
+	s.rt.Store(&routingTable{epoch: 0, owner: owner})
+	s.ccCtrl = make([]chan ccCtrl, cfg.CCThreads)
+	for i := range s.ccCtrl {
+		s.ccCtrl[i] = make(chan ccCtrl, 2)
+	}
+	s.pidLoad = make([]atomic.Uint64, cfg.LogicalPartitions)
+	s.ccLive = make([]ccLiveStats, cfg.CCThreads)
 	return s
 }
 
@@ -349,6 +503,11 @@ type session struct {
 	execWg   sync.WaitGroup
 	ccWg     sync.WaitGroup
 	start    time.Time
+
+	ctrl *controller // non-nil when Config.Controller.Enable
+	// migrateMu serializes migrations: the controller and any direct
+	// Migrate callers must not overlap quiesce windows.
+	migrateMu sync.Mutex
 }
 
 // Start implements engine.Runtime. A second Start while a previous
@@ -378,6 +537,10 @@ func (e *Engine) Start() engine.Session {
 			newExecThread(ses, x, ses.set.Thread(x)).loop()
 		}(x)
 	}
+	if e.cfg.Controller.Enable {
+		ses.ctrl = newController(ses, e.cfg.Controller)
+		go ses.ctrl.loop()
+	}
 	return ses
 }
 
@@ -396,14 +559,18 @@ func (ses *session) Submit(t *txn.Txn, done func(committed bool)) {
 // Drain implements engine.Session.
 func (ses *session) Drain() { ses.inflight.Wait() }
 
-// Close implements engine.Session. It drains outstanding submissions,
-// retires the execution threads, lets the CC threads take a final pass
-// over straggling releases, and reports the session's metrics. A second
-// Close panics: it would release the engine's in-use guard out from
-// under a newer session.
+// Close implements engine.Session. It stops the adaptive controller
+// (completing any in-progress migration, so no partition stays quiesced),
+// drains outstanding submissions, retires the execution threads, lets the
+// CC threads take a final pass over straggling releases, and reports the
+// session's metrics. A second Close panics: it would release the engine's
+// in-use guard out from under a newer session.
 func (ses *session) Close() metrics.Result {
 	if !ses.closed.CompareAndSwap(false, true) {
 		panic("orthrus: " + ses.e.Name() + ": Close on a closed session")
+	}
+	if ses.ctrl != nil {
+		ses.ctrl.stop()
 	}
 	ses.inflight.Wait()
 	ses.execStop.Store(true)
@@ -418,14 +585,52 @@ func (ses *session) Close() metrics.Result {
 		Releases:   ses.s.nReleases.Load(),
 		EnqueueOps: ses.s.nEnqOps.Load(),
 		DequeueOps: ses.s.nDeqOps.Load(),
+		PerCC:      ses.perCCStats(),
+	}
+	if ses.ctrl != nil {
+		ses.e.ctrl = ses.ctrl.stats
+	} else {
+		ses.e.ctrl = ControllerStats{}
 	}
 	ses.e.inUse.Release()
 	return metrics.Result{System: ses.e.Name(), Totals: ses.set.Totals(), Duration: time.Since(ses.start)}
 }
 
+// perCCStats harvests the live per-thread slots into the public
+// breakdown, attributing each logical partition to its final owner.
+func (ses *session) perCCStats() []CCStats {
+	rt := ses.s.rt.Load()
+	owned := make([]int, ses.s.cfg.CCThreads)
+	for _, o := range rt.owner {
+		owned[o]++
+	}
+	out := make([]CCStats, ses.s.cfg.CCThreads)
+	for i := range out {
+		live := &ses.s.ccLive[i]
+		out[i] = CCStats{
+			Acquires:       live.acquires.Load(),
+			Forwards:       live.forwards.Load(),
+			Releases:       live.releases.Load(),
+			Grants:         live.grants.Load(),
+			QueueHighWater: int(live.hiWaterRun.Load()),
+			Partitions:     owned[i],
+		}
+	}
+	return out
+}
+
 // ---------------------------------------------------------------------
 // Execution threads
 // ---------------------------------------------------------------------
+
+// parkedTxn is a submission held back because its plan touched a
+// quiesced (mid-migration) logical partition; it is replayed when the
+// next routing epoch publishes.
+type parkedTxn struct {
+	t     *txn.Txn
+	done  func(bool)
+	start time.Time
+}
 
 type execThread struct {
 	s     *runState
@@ -442,6 +647,14 @@ type execThread struct {
 	// classified as locking overhead.
 	logicTime time.Duration
 
+	// Two-level routing state: lastEpoch is the newest routing epoch this
+	// thread has observed (an epoch bump replays parked transactions),
+	// pidBuf is per-plan scratch holding each op's logical partition, and
+	// parked holds submissions quiesced by an in-progress migration.
+	lastEpoch uint64
+	pidBuf    []int32
+	parked    []parkedTxn
+
 	// Batched message plane: acquires and releases generated within one
 	// loop iteration are coalesced per destination CC thread in out and
 	// published with one ring operation per batch. scratch is the batched
@@ -457,16 +670,17 @@ type execThread struct {
 func newExecThread(ses *session, id int, stats *metrics.ThreadStats) *execThread {
 	cfg := ses.s.cfg
 	return &execThread{
-		s:       ses.s,
-		ses:     ses,
-		id:      id,
-		stats:   stats,
-		ids:     engine.NewIDSource(id),
-		ctx:     engine.PlannedCtx{DB: cfg.DB},
-		window:  cfg.Inflight,
-		batch:   cfg.BatchSize,
-		out:     make([][]message, cfg.CCThreads),
-		scratch: make([]message, cfg.BatchSize),
+		s:         ses.s,
+		ses:       ses,
+		id:        id,
+		stats:     stats,
+		ids:       engine.NewIDSource(id),
+		ctx:       engine.PlannedCtx{DB: cfg.DB},
+		window:    cfg.Inflight,
+		lastEpoch: ses.s.rt.Load().epoch,
+		batch:     cfg.BatchSize,
+		out:       make([][]message, cfg.CCThreads),
+		scratch:   make([]message, cfg.BatchSize),
 	}
 }
 
@@ -478,13 +692,29 @@ func (x *execThread) loop() {
 		t0 := time.Now()
 		x.logicTime = 0
 
+		// A new routing epoch unblocks transactions parked by a
+		// migration's quiesce window: replay them under the new table.
+		if rt := x.s.rt.Load(); rt.epoch != x.lastEpoch {
+			x.lastEpoch = rt.epoch
+			if len(x.parked) > 0 {
+				held := x.parked
+				x.parked = nil
+				for _, p := range held {
+					x.submit(p.t, p.done, p.start)
+				}
+				progress = true
+			}
+		}
+
 		// Drain grants from every CC thread.
 		if x.drainGrants() {
 			progress = true
 		}
 
 		// Top up the asynchronous window from the submission queue.
-		for x.inflight < x.window {
+		// Parked transactions occupy window slots: they are committed
+		// work this thread owes, just not yet admissible.
+		for x.inflight+len(x.parked) < x.window {
 			var sub engine.Submission
 			select {
 			case sub = <-x.ses.submit:
@@ -504,10 +734,13 @@ func (x *execThread) loop() {
 		// another thread's transaction.
 		x.flushAll()
 
-		if x.inflight == 0 && x.ses.execStop.Load() && len(x.ses.submit) == 0 {
+		if x.inflight == 0 && len(x.parked) == 0 && x.ses.execStop.Load() && len(x.ses.submit) == 0 {
 			// Close drains all submissions before setting execStop, so
 			// nothing can arrive after this check; flushAll above has
-			// published any straggling releases.
+			// published any straggling releases. Parked transactions
+			// cannot be stranded: Close stops the controller first, and
+			// every migration ends by publishing an epoch with no held
+			// partitions.
 			return
 		}
 		if progress {
@@ -550,44 +783,100 @@ func (x *execThread) drainGrants() bool {
 	return progress
 }
 
-// submit plans the transaction's CC chain and sends the first acquire.
-// start is when this execution thread accepted the transaction into its
-// window (preserved across OLLP restarts so latency covers the whole
-// retry chain), done its session completion callback.
+// submit plans the transaction's CC chain under the current routing
+// epoch and sends the first acquire. start is when this execution thread
+// accepted the transaction into its window (preserved across OLLP
+// restarts and migration parking so latency covers the whole retry
+// chain), done its session completion callback.
+//
+// Planning races with epoch publication: the thread registers the
+// wrapper in the epoch gauge and then re-checks that the routing table
+// is still current before sending anything. If a migration published in
+// between, the registration is rolled back and the plan redone — so the
+// migration drain barrier can never miss a chain that goes on to acquire
+// locks under a superseded epoch.
 func (x *execThread) submit(t *txn.Txn, done func(bool), start time.Time) {
 	t.SortOps()
 	w := &wrapper{t: t, owner: x.id, start: start, done: done}
 
-	// Group ops by home CC thread, emitting hops in ascending CC id — the
-	// deadlock-avoidance order (§3.2). Partition ids are folded modulo the
-	// CC thread count so a partitioner with a wider range than the engine
-	// (e.g. an Autotune probe of a smaller candidate split) can never
-	// silently drop an op — every declared lock must be acquired.
-	pf := x.s.cfg.Partition
-	n := x.s.cfg.CCThreads
-	for c := 0; c < n; c++ {
-		var ops []txn.Op
-		for _, op := range t.Ops {
-			if pf(op.Table, op.Key)%n == c {
-				ops = append(ops, op)
-			}
+	for {
+		rt := x.s.rt.Load()
+		if !x.plan(w, rt) {
+			// A quiesced partition: hold the transaction until the
+			// migration publishes its new epoch.
+			x.parked = append(x.parked, parkedTxn{t: t, done: done, start: start})
+			return
 		}
-		if len(ops) > 0 {
-			w.hops = append(w.hops, c)
-			w.opsByCC = append(w.opsByCC, ops)
-			w.reqs = append(w.reqs, nil)
+		if len(w.hops) == 0 {
+			// No declared ops: nothing to lock, run immediately.
+			x.finish(w)
+			return
 		}
-	}
-
-	if len(w.hops) == 0 {
-		// No declared ops: nothing to lock, run immediately.
-		x.finish(w)
-		return
+		x.s.epochs.add(rt.epoch, 1)
+		if x.s.rt.Load() != rt {
+			// Epoch changed between planning and registration; the drain
+			// barrier may already have passed this slot. Replan.
+			x.s.epochs.add(rt.epoch, -1)
+			w.hops, w.opsByCC, w.reqs = nil, nil, nil
+			continue
+		}
+		w.epoch = rt.epoch
+		w.releasesLeft.Store(int32(len(w.hops)))
+		break
 	}
 
 	x.inflight++
 	x.s.nAcquires.Add(1)
 	x.push(w.hops[0], message{kind: msgAcquire, w: w})
+}
+
+// plan groups the transaction's ops by owning CC thread under rt,
+// emitting hops in ascending CC id — the deadlock-avoidance order (§3.2)
+// within the epoch. It returns false (and leaves the wrapper unplanned)
+// when any touched logical partition is quiesced by an in-progress
+// migration. The derived chain is cached on the transaction with the
+// epoch it was computed under (txn.RouteEpoch) — the dynamic level of
+// routing, unlike txn.Partitions, is only valid for that epoch.
+func (x *execThread) plan(w *wrapper, rt *routingTable) bool {
+	t := w.t
+	ncc := x.s.cfg.CCThreads
+	if cap(x.pidBuf) < len(t.Ops) {
+		x.pidBuf = make([]int32, len(t.Ops))
+	}
+	pids := x.pidBuf[:len(t.Ops)]
+	var counts [64]int
+	countSlice := counts[:]
+	if ncc > len(countSlice) {
+		countSlice = make([]int, ncc)
+	} else {
+		countSlice = countSlice[:ncc]
+	}
+	for i, op := range t.Ops {
+		pid := x.s.pidOf(op.Table, op.Key)
+		if rt.blocked(pid) {
+			return false
+		}
+		pids[i] = int32(pid)
+		countSlice[rt.owner[pid]]++
+	}
+	for c := 0; c < ncc; c++ {
+		if countSlice[c] == 0 {
+			continue
+		}
+		ops := make([]txn.Op, 0, countSlice[c])
+		for i, op := range t.Ops {
+			if int(rt.owner[pids[i]]) == c {
+				ops = append(ops, op)
+			}
+		}
+		w.hops = append(w.hops, c)
+		w.opsByCC = append(w.opsByCC, ops)
+		w.reqs = append(w.reqs, nil)
+		countSlice[c] = 0
+	}
+	t.Hops = w.hops
+	t.RouteEpoch = rt.epoch
+	return true
 }
 
 // push buffers m for CC thread c, publishing the destination's outbox
@@ -698,7 +987,9 @@ func (x *execThread) finish(w *wrapper) {
 }
 
 // release notifies every CC thread in the chain. Fire-and-forget: release
-// requests are satisfied unconditionally (§3.1).
+// requests are satisfied unconditionally (§3.1). The chain's CC threads
+// retire the wrapper's routing epoch as they process these messages, so
+// a migration cannot proceed while any of them is still in a ring.
 func (x *execThread) release(w *wrapper) {
 	for _, c := range w.hops {
 		x.s.nReleases.Add(1)

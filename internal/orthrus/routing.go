@@ -1,0 +1,127 @@
+package orthrus
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Two-level partition routing
+//
+// The record → CC-thread mapping that used to be a single hash is split
+// into two levels:
+//
+//	record            → logical partition   static (Config.Partition,
+//	                                        folded modulo LogicalPartitions)
+//	logical partition → CC thread           routingTable, epoch-versioned
+//
+// The static level never changes for the lifetime of an engine, so
+// anything derived from it alone (e.g. txn.PartitionSet) caches freely.
+// The dynamic level is an immutable routingTable behind an atomic
+// pointer: execution threads load it when planning a transaction's CC
+// chain, and the migration protocol (controller.go) publishes successor
+// tables with a bumped epoch. P is chosen larger than the CC thread
+// count (default 4×) so ownership can move at sub-thread granularity —
+// the provisioning knob the paper's Figure 5 argues for, made adjustable
+// at runtime.
+
+// routingTable is one immutable epoch of the dynamic level. A table is
+// never mutated after publication; session.migrate builds each successor
+// table fresh (the quiesce epoch shares the predecessor's owner slice,
+// the publish epoch carries a new one) and atomically swaps the pointer.
+type routingTable struct {
+	epoch uint64
+	// owner[pid] is the CC thread owning logical partition pid.
+	owner []int32
+	// held, when non-nil, marks logical partitions whose intake is
+	// quiesced: execution threads must park (not submit) transactions
+	// touching them until a later epoch clears the mark. Held partitions
+	// exist only during the quiesce phase of a migration.
+	held []bool
+}
+
+// blocked reports whether any of the transaction's ops (by logical
+// partition) are quiesced in this epoch.
+func (rt *routingTable) blocked(pid int) bool {
+	return rt.held != nil && rt.held[pid]
+}
+
+// defaultRouting spreads logical partitions round-robin over the CC
+// threads: owner[pid] = pid mod cc. When LogicalPartitions is a multiple
+// of CCThreads and the static level is HashPartitioner(LogicalPartitions),
+// the composed record → CC mapping equals the pre-two-level
+// HashPartitioner(CCThreads) exactly (key%P%cc == key%cc), so the default
+// configuration reproduces the original engine's routing bit for bit.
+func defaultRouting(parts, cc int) []int32 {
+	owner := make([]int32, parts)
+	for pid := range owner {
+		owner[pid] = int32(pid % cc)
+	}
+	return owner
+}
+
+// epochSlots bounds how many routing epochs can have live transactions
+// simultaneously. Migrations serialize and each waits for every older
+// epoch to drain before changing ownership, so at most two consecutive
+// epochs are ever live; eight slots leaves generous slack.
+const epochSlots = 8
+
+// epochGauge counts in-flight lock-holding transactions per routing
+// epoch. An execution thread increments the slot of the epoch a wrapper
+// was planned under before sending its first acquire; the CC thread that
+// processes the wrapper's final release decrements it. A zero slot
+// therefore means no transaction planned under that epoch holds locks
+// *and* no message referencing one is still in any ring — the guarantee
+// the migration protocol's shard handoff rests on.
+type epochGauge struct {
+	slots [epochSlots]atomic.Int64
+}
+
+func (g *epochGauge) add(epoch uint64, d int64) {
+	g.slots[epoch%epochSlots].Add(d)
+}
+
+// drainedExcept reports whether every epoch slot other than the given
+// (current) epoch's is zero.
+func (g *epochGauge) drainedExcept(epoch uint64) bool {
+	cur := epoch % epochSlots
+	for i := range g.slots {
+		if uint64(i) == cur {
+			continue
+		}
+		if g.slots[i].Load() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ccCtrl message kinds: the rare-path control plane CC threads poll
+// between drain passes. Unlike the SPSC data rings, the control channel
+// is a plain Go channel (multi-producer: the controller and tests), which
+// is fine at migration frequency.
+const (
+	ctrlDetach uint8 = iota
+	ctrlInstall
+)
+
+// ccCtrl asks a CC thread to hand over (detach) or adopt (install) lock
+// shards. The receiving CC thread executes it between drain passes, so
+// shard structures are only ever touched by their current owner.
+type ccCtrl struct {
+	kind   uint8
+	pids   []int
+	shards []*privateTable      // parallel to pids (install)
+	reply  chan []*privateTable // detach: the shards; install: nil ack
+}
+
+// validateRouting panics unless owner is a legal routing for the config.
+func validateRouting(owner []int32, parts, cc int) {
+	if len(owner) != parts {
+		panic(fmt.Sprintf("orthrus: Routing has %d entries, want LogicalPartitions=%d", len(owner), parts))
+	}
+	for pid, o := range owner {
+		if o < 0 || int(o) >= cc {
+			panic(fmt.Sprintf("orthrus: Routing[%d]=%d outside [0,%d)", pid, o, cc))
+		}
+	}
+}

@@ -111,10 +111,16 @@ type Txn struct {
 	Replan func(*Txn)
 
 	// engine scratch, reset by engines between runs
-	Pending int32  // ORTHRUS: locks not yet granted at the current CC thread
-	Owner   int    // ORTHRUS: issuing execution thread
-	Hops    []int  // ORTHRUS: CC thread visit chain, ascending
-	TS      uint64 // wait-die timestamp
+	Pending int32 // ORTHRUS: locks not yet granted at the current CC thread
+	Owner   int   // ORTHRUS: issuing execution thread
+	Hops    []int // ORTHRUS: CC thread visit chain, ascending
+	// RouteEpoch is the routing epoch Hops was derived under. Unlike
+	// Partitions (the static record → logical partition level, valid
+	// forever), a CC-thread chain depends on the epoch-versioned
+	// logical-partition → CC-thread table, so consumers must recompute
+	// Hops whenever the engine's current epoch differs from RouteEpoch.
+	RouteEpoch uint64
+	TS         uint64 // wait-die timestamp
 }
 
 // SortOps sorts the declared access set into the global lock order and
@@ -160,5 +166,6 @@ func (t *Txn) ResetScratch() {
 	t.Pending = 0
 	t.Owner = 0
 	t.Hops = t.Hops[:0]
+	t.RouteEpoch = 0
 	t.TS = 0
 }

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// Phased is a non-stationary source: it plays a sequence of phases, each
+// an inner Source served for a wall-clock duration, switching when the
+// phase's time is up. The clock starts at the first Next call, so a
+// Phased composed before a run measures phases from the run's first
+// transaction. The last phase runs until the caller stops asking.
+//
+// This is the workload shape the elastic CC plane exists for: a hot set
+// (or Zipfian head) that moves mid-run shifts lock-space load between
+// logical partitions, and a static partition → CC-thread mapping is
+// stuck with wherever the load landed at Start.
+//
+// Phased is safe for concurrent Next calls (the paper's closed-loop
+// drivers call it from many client goroutines); phase selection is a
+// single atomic load off a monotonic clock.
+type Phased struct {
+	Phases []Phase
+	start  atomic.Int64 // nanos of the first Next call (monotonic-ish)
+}
+
+// Phase is one stretch of a Phased schedule.
+type Phase struct {
+	Src Source
+	// For is how long this phase serves before the next takes over.
+	// Ignored on the last phase, which runs until the caller stops.
+	For time.Duration
+}
+
+// Validate checks the schedule and every inner source that exposes a
+// Validate method.
+func (p *Phased) Validate() error {
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("workload: Phased needs at least one phase")
+	}
+	for i, ph := range p.Phases {
+		if ph.Src == nil {
+			return fmt.Errorf("workload: phase %d has no source", i)
+		}
+		if ph.For <= 0 && i != len(p.Phases)-1 {
+			return fmt.Errorf("workload: phase %d needs a positive duration (only the last phase may run open-ended)", i)
+		}
+		if v, ok := ph.Src.(interface{ Validate() error }); ok {
+			if err := v.Validate(); err != nil {
+				return fmt.Errorf("workload: phase %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Next implements Source.
+func (p *Phased) Next(thread int, rng *rand.Rand) *txn.Txn {
+	now := time.Now().UnixNano()
+	start := p.start.Load()
+	if start == 0 {
+		// First call (or a photo finish between first callers — either
+		// winner's timestamp is fine).
+		p.start.CompareAndSwap(0, now)
+		start = p.start.Load()
+	}
+	elapsed := time.Duration(now - start)
+	for i, ph := range p.Phases {
+		if i == len(p.Phases)-1 || elapsed < ph.For {
+			return ph.Src.Next(thread, rng)
+		}
+		elapsed -= ph.For
+	}
+	panic("unreachable")
+}
+
+// Elapsed reports time since the first Next call (zero before it), so
+// harness samplers can align their buckets with the phase clock.
+func (p *Phased) Elapsed() time.Duration {
+	start := p.start.Load()
+	if start == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - start)
+}

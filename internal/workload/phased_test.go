@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// markerSource tags every transaction with a fixed key so tests can tell
+// which phase produced it.
+type markerSource struct{ key uint64 }
+
+func (s *markerSource) Next(int, *rand.Rand) *txn.Txn {
+	return &txn.Txn{Ops: []txn.Op{{Key: s.key, Mode: txn.Write}}}
+}
+
+func TestPhasedValidate(t *testing.T) {
+	ok := &Phased{Phases: []Phase{
+		{Src: &markerSource{1}, For: time.Millisecond},
+		{Src: &markerSource{2}}, // open-ended tail
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Phased{
+		{},
+		{Phases: []Phase{{Src: nil, For: time.Millisecond}}},
+		{Phases: []Phase{{Src: &markerSource{1}}, {Src: &markerSource{2}}}}, // non-final open-ended
+		{Phases: []Phase{ // inner Validate propagates
+			{Src: &YCSB{NumRecords: 5, OpsPerTxn: 10}, For: time.Millisecond},
+			{Src: &markerSource{2}},
+		}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+func TestPhasedSwitchesOnSchedule(t *testing.T) {
+	p := &Phased{Phases: []Phase{
+		{Src: &markerSource{1}, For: 40 * time.Millisecond},
+		{Src: &markerSource{2}, For: 40 * time.Millisecond},
+		{Src: &markerSource{3}},
+	}}
+	rng := newRand()
+	if got := p.Next(0, rng).Ops[0].Key; got != 1 {
+		t.Fatalf("first phase emitted key %d", got)
+	}
+	if e := p.Elapsed(); e <= 0 || e > time.Second {
+		t.Fatalf("Elapsed = %v after first Next", e)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := p.Next(0, rng).Ops[0].Key; got != 2 {
+		t.Fatalf("second phase emitted key %d", got)
+	}
+	time.Sleep(40 * time.Millisecond)
+	if got := p.Next(0, rng).Ops[0].Key; got != 3 {
+		t.Fatalf("final phase emitted key %d", got)
+	}
+	// The final phase is open-ended.
+	if got := p.Next(0, rng).Ops[0].Key; got != 3 {
+		t.Fatalf("final phase did not persist, key %d", got)
+	}
+}
+
+// Concurrent first calls must agree on a single start time (run with
+// -race to check the CAS handshake).
+func TestPhasedConcurrentStart(t *testing.T) {
+	p := &Phased{Phases: []Phase{
+		{Src: &markerSource{1}, For: time.Hour},
+		{Src: &markerSource{2}},
+	}}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for j := 0; j < 100; j++ {
+				if got := p.Next(i, rng).Ops[0].Key; got != 1 {
+					t.Errorf("phase escaped: key %d", got)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -71,24 +71,12 @@ func (c *Zipf) Next(_ int, rng *rand.Rand) *txn.Txn {
 	if c.Theta <= 1 {
 		panic("workload: Zipf Theta must exceed 1")
 	}
-	z := rand.NewZipf(rng, c.Theta, 1, c.NumRecords-1)
 	mode := txn.Write
 	if c.ReadOnly {
 		mode = txn.Read
 	}
 	ops := make([]txn.Op, 0, c.OpsPerTxn)
-	seen := make([]uint64, 0, c.OpsPerTxn)
-	for len(ops) < c.OpsPerTxn {
-		key := z.Uint64()
-		if contains(seen, key) {
-			// Zipf resamples collide often at high skew; degrade to a
-			// uniform probe to keep keys distinct.
-			key = uint64(rng.Int63n(int64(c.NumRecords)))
-			if contains(seen, key) {
-				continue
-			}
-		}
-		seen = append(seen, key)
+	for _, key := range zipfKeys(rng, c.Theta, c.NumRecords, c.OpsPerTxn) {
 		ops = append(ops, txn.Op{Table: c.Table, Key: key, Mode: mode})
 	}
 	t := &txn.Txn{Ops: ops}
@@ -115,4 +103,26 @@ func (c *Zipf) Next(_ int, rng *rand.Rand) *txn.Txn {
 		return nil
 	}
 	return t
+}
+
+// zipfKeys draws k distinct keys from a Zipfian distribution with
+// exponent theta over [0, n). The fat head makes within-transaction
+// collisions common: resample a few times, then nudge linearly into the
+// neighborhood so the caller always gets distinct keys. Shared by the
+// standalone Zipf source and YCSB's ZipfTheta mode so the two stay
+// sampling-identical.
+func zipfKeys(rng *rand.Rand, theta float64, n uint64, k int) []uint64 {
+	z := rand.NewZipf(rng, theta, 1, n-1)
+	keys := make([]uint64, 0, k)
+	for len(keys) < k {
+		key := z.Uint64()
+		for try := 0; try < 8 && contains(keys, key); try++ {
+			key = z.Uint64()
+		}
+		for contains(keys, key) {
+			key = (key + 1) % n
+		}
+		keys = append(keys, key)
+	}
+	return keys
 }

@@ -39,11 +39,26 @@ type YCSB struct {
 	// ReadOnly selects 10-read transactions instead of 10-RMW.
 	ReadOnly bool
 	// HotRecords is the hot-set size; 0 means uniform (no hot set).
-	// Hot keys are [0,HotRecords), cold keys are [HotRecords,NumRecords).
+	// Hot keys are [HotStart, HotStart+HotRecords), cold keys are the
+	// rest of the table.
 	HotRecords uint64
+	// HotStart offsets the hot window into the key space (default 0:
+	// the paper's hot set at the head of the table). A non-stationary
+	// workload is two YCSB phases differing only in HotStart — under a
+	// range-partitioned key space the hot load physically moves between
+	// logical partitions, which is what the elastic routing experiments
+	// chase.
+	HotStart uint64
 	// HotOps is how many of the transaction's accesses hit the hot set
 	// (paper: 2). Ignored when HotRecords is 0.
 	HotOps int
+	// ZipfTheta, when > 1, draws every key from a Zipfian distribution
+	// with exponent ZipfTheta over [0, NumRecords) — popularity falls
+	// off from key 0, so under a range partitioner the head concentrates
+	// on the first logical partitions. Mutually exclusive with the
+	// hot-set model (HotRecords) and partition constraints (Spread).
+	// Values in (0, 1] are rejected: the sampler requires exponent > 1.
+	ZipfTheta float64
 	// Partitions is the engine's partition count (CC threads for ORTHRUS,
 	// physical partitions for Partitioned-store). Required when Spread>0.
 	Partitions int
@@ -70,8 +85,23 @@ func (c *YCSB) Validate() error {
 	if c.HotRecords > c.NumRecords {
 		return fmt.Errorf("workload: HotRecords %d > NumRecords %d", c.HotRecords, c.NumRecords)
 	}
+	if c.HotStart+c.HotRecords > c.NumRecords {
+		return fmt.Errorf("workload: hot window [%d,%d) exceeds NumRecords %d",
+			c.HotStart, c.HotStart+c.HotRecords, c.NumRecords)
+	}
 	if c.HotRecords > 0 && c.HotOps > c.OpsPerTxn {
 		return fmt.Errorf("workload: HotOps %d > OpsPerTxn %d", c.HotOps, c.OpsPerTxn)
+	}
+	if c.ZipfTheta != 0 {
+		if c.ZipfTheta <= 1 {
+			return fmt.Errorf("workload: ZipfTheta %v must be > 1 (or 0 to disable)", c.ZipfTheta)
+		}
+		if c.HotRecords > 0 {
+			return fmt.Errorf("workload: ZipfTheta and HotRecords are mutually exclusive")
+		}
+		if c.Spread > 0 {
+			return fmt.Errorf("workload: ZipfTheta does not support partition constraints (Spread)")
+		}
 	}
 	if c.Spread > 0 {
 		if c.Partitions <= 0 {
@@ -92,6 +122,17 @@ func (c *YCSB) Validate() error {
 
 // Next implements Source.
 func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
+	mode := txn.Write
+	if c.ReadOnly {
+		mode = txn.Read
+	}
+
+	if c.ZipfTheta > 1 {
+		t := &txn.Txn{Ops: c.zipfOps(rng, mode)}
+		t.Logic = c.logic(t)
+		return t
+	}
+
 	spread := c.Spread
 	if spread >= 2 && c.MultiPartitionPct < 100 && rng.Intn(100) >= c.MultiPartitionPct {
 		spread = 1
@@ -102,10 +143,6 @@ func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
 		parts = pickDistinctInts(rng, spread, c.Partitions)
 	}
 
-	mode := txn.Write
-	if c.ReadOnly {
-		mode = txn.Read
-	}
 	hotOps := 0
 	if c.HotRecords > 0 {
 		hotOps = c.HotOps
@@ -118,19 +155,22 @@ func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
 		if parts != nil {
 			part = parts[i%len(parts)]
 		}
-		lo, hi := c.HotRecords, c.NumRecords // cold range
+		var key uint64
+		var ok bool
 		if i < hotOps {
-			lo, hi = 0, c.HotRecords
-		}
-		key, ok := c.pickKey(rng, part, lo, hi, seen)
-		if !ok && i < hotOps {
-			// Partition-constrained hot pick exhausted (tiny hot set split
-			// across many partitions): fall back to this partition's cold
-			// range so the transaction still has OpsPerTxn distinct keys.
-			key, ok = c.pickKey(rng, part, c.HotRecords, c.NumRecords, seen)
+			key, ok = c.pickKey(rng, part, c.HotStart, c.HotStart+c.HotRecords, seen)
+			if !ok {
+				// Partition-constrained hot pick exhausted (tiny hot set
+				// split across many partitions): fall back to this
+				// partition's cold keys so the transaction still has
+				// OpsPerTxn distinct keys.
+				key, ok = c.pickCold(rng, part, seen)
+			}
+		} else {
+			key, ok = c.pickCold(rng, part, seen)
 		}
 		if !ok {
-			// Cold range within the partition exhausted (only plausible in
+			// Cold keys within the partition exhausted (only plausible in
 			// tiny test tables): widen to any partition.
 			key, _ = c.pickKey(rng, -1, 0, c.NumRecords, seen)
 		}
@@ -141,6 +181,37 @@ func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
 	t := &txn.Txn{Ops: ops, Partitions: parts}
 	t.Logic = c.logic(t)
 	return t
+}
+
+// pickCold draws a key outside the hot window [HotStart,
+// HotStart+HotRecords), choosing between the two cold segments flanking
+// it in proportion to their sizes, falling back to the other segment
+// when the first comes up empty.
+func (c *YCSB) pickCold(rng *rand.Rand, part int, seen []uint64) (uint64, bool) {
+	hotLo, hotHi := c.HotStart, c.HotStart+c.HotRecords
+	s1, s2 := hotLo, c.NumRecords-hotHi
+	if s1 > 0 && (s2 == 0 || uint64(rng.Int63n(int64(s1+s2))) < s1) {
+		if key, ok := c.pickKey(rng, part, 0, hotLo, seen); ok {
+			return key, true
+		}
+		return c.pickKey(rng, part, hotHi, c.NumRecords, seen)
+	}
+	if key, ok := c.pickKey(rng, part, hotHi, c.NumRecords, seen); ok {
+		return key, true
+	}
+	return c.pickKey(rng, part, 0, hotLo, seen)
+}
+
+// zipfOps draws OpsPerTxn distinct keys from the Zipfian distribution
+// (shared sampler with the standalone Zipf source). Popularity decreases
+// from key 0, so the head of the key space is the contention (and, under
+// a range partitioner, partition-load) hot spot.
+func (c *YCSB) zipfOps(rng *rand.Rand, mode txn.Mode) []txn.Op {
+	ops := make([]txn.Op, 0, c.OpsPerTxn)
+	for _, key := range zipfKeys(rng, c.ZipfTheta, c.NumRecords, c.OpsPerTxn) {
+		ops = append(ops, txn.Op{Table: c.Table, Key: key, Mode: mode})
+	}
+	return ops
 }
 
 // pickKey draws a key from [lo,hi) not already in seen; when part >= 0 the

@@ -24,6 +24,11 @@ func TestValidate(t *testing.T) {
 		{NumRecords: 100, OpsPerTxn: 10, Spread: 11, Partitions: 16},                       // spread > ops
 		{NumRecords: 100, OpsPerTxn: 10, Spread: 2, Partitions: 4, MultiPartitionPct: 101}, // pct range
 		{NumRecords: 100, OpsPerTxn: 10, Spread: 2, Partitions: 4, MultiPartitionPct: -1},  // pct range
+		{NumRecords: 100, OpsPerTxn: 10, HotRecords: 64, HotStart: 50},                     // hot window past the end
+		{NumRecords: 100, OpsPerTxn: 10, ZipfTheta: 0.9},                                   // zipf exponent must be > 1
+		{NumRecords: 100, OpsPerTxn: 10, ZipfTheta: -1},                                    // zipf exponent must be > 1
+		{NumRecords: 100, OpsPerTxn: 10, ZipfTheta: 1.2, HotRecords: 8},                    // zipf xor hot set
+		{NumRecords: 100, OpsPerTxn: 10, ZipfTheta: 1.2, Spread: 2, Partitions: 4},         // zipf xor spread
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -64,6 +69,80 @@ func TestHotColdSplitAndOrder(t *testing.T) {
 				t.Fatalf("op %d should be cold, key=%d", j, op.Key)
 			}
 		}
+	}
+}
+
+func TestHotStartMovesWindow(t *testing.T) {
+	const start, size = 5000, 64
+	c := &YCSB{NumRecords: 10000, OpsPerTxn: 10, HotRecords: size, HotStart: start, HotOps: 2}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := newRand()
+	for i := 0; i < 300; i++ {
+		tx := c.Next(0, rng)
+		for j, op := range tx.Ops {
+			inWindow := op.Key >= start && op.Key < start+size
+			if j < 2 && !inWindow {
+				t.Fatalf("hot op %d outside window: key=%d", j, op.Key)
+			}
+			if j >= 2 && inWindow {
+				t.Fatalf("cold op %d landed in hot window: key=%d", j, op.Key)
+			}
+		}
+	}
+	// Cold keys must come from both flanks of the window, roughly in
+	// proportion to their sizes (the flanks are ~equal here).
+	below, above := 0, 0
+	for i := 0; i < 500; i++ {
+		for _, op := range c.Next(0, rng).Ops[2:] {
+			if op.Key < start {
+				below++
+			} else {
+				above++
+			}
+		}
+	}
+	if below == 0 || above == 0 {
+		t.Fatalf("cold picks ignore a flank: below=%d above=%d", below, above)
+	}
+	if ratio := float64(below) / float64(above); ratio < 0.5 || ratio > 2 {
+		t.Fatalf("cold flank proportion off: below=%d above=%d", below, above)
+	}
+}
+
+func TestYCSBZipfSkewAndDistinctness(t *testing.T) {
+	c := &YCSB{NumRecords: 100000, OpsPerTxn: 10, ZipfTheta: 1.3}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := newRand()
+	head, tail := 0, 0
+	for i := 0; i < 500; i++ {
+		tx := c.Next(0, rng)
+		if len(tx.Ops) != 10 {
+			t.Fatalf("ops = %d", len(tx.Ops))
+		}
+		seen := map[uint64]bool{}
+		for _, op := range tx.Ops {
+			if seen[op.Key] {
+				t.Fatalf("duplicate zipf key %d", op.Key)
+			}
+			seen[op.Key] = true
+			if op.Key >= c.NumRecords {
+				t.Fatalf("key %d out of range", op.Key)
+			}
+			if op.Key < c.NumRecords/100 {
+				head++
+			} else {
+				tail++
+			}
+		}
+	}
+	// Zipf(1.3) concentrates far more than 1% of draws on the first 1%
+	// of the key space; uniform would put ~50 of 5000 there.
+	if head < tail {
+		t.Fatalf("no zipf skew: head=%d tail=%d", head, tail)
 	}
 }
 
