@@ -223,7 +223,7 @@ func BenchmarkFig10Breakdown(b *testing.B) {
 					s := newBenchTPCC(b, cfg.w)
 					eng := tpccBenchEngines(s, threads)[sys]
 					res := eng.Run(&TPCCMix{S: s}, benchDuration(b))
-					e, l, w := res.Totals.Breakdown()
+					e, l, w, _ := res.Totals.Breakdown()
 					b.ReportMetric(res.Throughput(), "txns/sec")
 					b.ReportMetric(e, "exec%")
 					b.ReportMetric(l, "lock%")

@@ -13,10 +13,12 @@
 // paper-vs-measured comparison. Beyond the figures, the openloop
 // experiment reports commit latency under offered load, the batching
 // experiment reports message-plane ring operations and throughput per
-// BatchSize, and the adaptive experiment compares static vs elastic CC
-// routing across a mid-run hot-set shift. With -json <dir>, each
-// experiment's series is also written as JSON rows (one object per line)
-// to <dir>/BENCH_<id>.json for mechanical tracking across checkouts.
+// BatchSize, the adaptive experiment compares static vs elastic CC
+// routing across a mid-run hot-set shift, and the durability experiment
+// sweeps WAL sync policy and group-commit size against the no-WAL
+// baseline. With -json <dir>, each experiment's series is also written
+// as JSON rows (one object per line) to <dir>/BENCH_<id>.json for
+// mechanical tracking across checkouts.
 package main
 
 import (

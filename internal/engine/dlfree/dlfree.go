@@ -24,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -39,6 +40,9 @@ type Config struct {
 	// physical effect outside this reproduction's reach, so the flag only
 	// changes the reported name. See README.md "Scale and fidelity".
 	Split bool
+	// Wal, when enabled, makes commit acknowledgment durable (redo append
+	// at pre-commit, acknowledgment from the group-commit flusher).
+	Wal *wal.Log
 }
 
 // Engine is the deadlock-free ordered-locking engine.
@@ -75,8 +79,8 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 
 // Start implements engine.Runtime.
 func (e *Engine) Start() engine.Session {
-	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse,
-		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
+	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
+		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn, *engine.Completion) {
 			w := &dlfreeWorker{
 				eng:    e,
 				thread: thread,
@@ -84,10 +88,10 @@ func (e *Engine) Start() engine.Session {
 				ctx:    engine.PlannedCtx{DB: e.cfg.DB},
 				held:   make([]*lock.Request, 0, 32),
 			}
-			return func(t *txn.Txn) bool {
-				w.execute(t, stats)
-				return true
+			if e.cfg.Wal.Enabled() {
+				w.ctx.Wal = e.cfg.Wal.NewAppender(stats)
 			}
+			return w.execute
 		})
 }
 
@@ -104,9 +108,12 @@ type dlfreeWorker struct {
 	held   []*lock.Request
 }
 
-// execute runs one transaction to commit, re-planning on OLLP misses.
-func (w *dlfreeWorker) execute(t *txn.Txn, stats *metrics.ThreadStats) {
+// execute runs one transaction to commit, re-planning on OLLP misses,
+// and discharges comp exactly once — inline, or from the WAL flusher
+// when durability is on.
+func (w *dlfreeWorker) execute(t *txn.Txn, comp *engine.Completion) {
 	e := w.eng
+	stats := comp.Stats()
 	t.ID = w.ids.Next()
 	for {
 		t.SortOps()
@@ -133,9 +140,14 @@ func (w *dlfreeWorker) execute(t *txn.Txn, stats *metrics.ThreadStats) {
 		err := t.Logic(&w.ctx)
 		t2 := time.Now()
 
-		// Phase 3: release in reverse order.
+		// Phase 3: seal the redo record (before any release — the LSN
+		// must order before every dependent transaction's), then release
+		// in reverse order.
 		if err == nil {
 			w.ctx.Commit()
+			if w.ctx.Wal != nil {
+				w.ctx.Wal.Commit(comp.Defer())
+			}
 		} else {
 			w.ctx.Abort()
 		}
@@ -152,6 +164,9 @@ func (w *dlfreeWorker) execute(t *txn.Txn, stats *metrics.ThreadStats) {
 
 		if err == nil {
 			stats.Committed++
+			if w.ctx.Wal == nil {
+				comp.Finish(true)
+			}
 			return
 		}
 		if !errors.Is(err, txn.ErrEstimateMiss) {

@@ -3,6 +3,7 @@ package engine
 import (
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // PlannedCtx is the txn.Ctx used by the planned-access engines (ORTHRUS
@@ -11,16 +12,25 @@ import (
 // record undo images. An access outside the declared set returns
 // txn.ErrEstimateMiss — the OLLP signal that the reconnaissance estimate
 // was wrong and the transaction must be re-planned (paper §3.2).
+//
+// When Wal is set, accessors also capture the redo write set: each
+// written or inserted record is noted on the appender, so the engine can
+// seal a redo record at pre-commit with Wal.Commit. Abort discards the
+// capture along with the undo images.
 type PlannedCtx struct {
 	DB   *storage.DB
 	T    *txn.Txn
 	Undo UndoLog
+	Wal  *wal.Appender // redo capture; nil when durability is off
 }
 
 // Begin attaches the context to a transaction attempt.
 func (c *PlannedCtx) Begin(t *txn.Txn) {
 	c.T = t
 	c.Undo.Reset()
+	if c.Wal != nil {
+		c.Wal.Abort() // drop any capture a panicked/failed attempt left
+	}
 }
 
 // Read implements txn.Ctx.
@@ -38,16 +48,33 @@ func (c *PlannedCtx) Write(table int, key uint64) ([]byte, error) {
 	}
 	rec := c.DB.Table(table).Get(key)
 	c.Undo.Record(rec)
+	if c.Wal != nil {
+		c.Wal.Note(table, key, rec)
+	}
 	return rec, nil
 }
 
-// Insert implements txn.Ctx.
+// Insert implements txn.Ctx. The redo note references the table's own
+// copy of the value, so the caller may reuse its buffer immediately.
 func (c *PlannedCtx) Insert(table int, key uint64, value []byte) error {
-	return Insert(c.DB, table, key, value)
+	if err := Insert(c.DB, table, key, value); err != nil {
+		return err
+	}
+	if c.Wal != nil {
+		c.Wal.Note(table, key, c.DB.Table(table).Get(key))
+	}
+	return nil
 }
 
-// Commit discards undo state.
+// Commit discards undo state. The redo capture stays: the engine seals it
+// with Wal.Commit at pre-commit, while the transaction still holds its
+// locks.
 func (c *PlannedCtx) Commit() { c.Undo.Reset() }
 
-// Abort rolls back in-place writes.
-func (c *PlannedCtx) Abort() { c.Undo.Rollback() }
+// Abort rolls back in-place writes and discards the redo capture.
+func (c *PlannedCtx) Abort() {
+	c.Undo.Rollback()
+	if c.Wal != nil {
+		c.Wal.Abort()
+	}
+}

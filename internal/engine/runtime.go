@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -114,6 +115,45 @@ func (g *InUseGuard) Release() {
 	g.busy.Store(false)
 }
 
+// Completion carries one submission's completion duties — commit-latency
+// recording, the session callback, in-flight retirement — as a first-class
+// value, so an engine can either discharge them inline at pre-commit (the
+// paper's instant acknowledgment, when durability is off) or defer them
+// behind a WAL group-commit flush. The worker loop reuses one Completion
+// per thread; Defer copies it, so a deferred acknowledgment survives the
+// worker moving on to the next transaction.
+type Completion struct {
+	ses   *WorkerSession
+	stats *metrics.ThreadStats
+	done  func(bool)
+	start time.Time
+}
+
+// Finish discharges the completion: exactly one Finish (or one deferred
+// callback from Defer) must run per submission. When committed, the
+// service latency recorded spans dequeue to this call — including the
+// durability flush stall if the engine deferred past one.
+func (c *Completion) Finish(committed bool) {
+	if committed {
+		c.stats.Latency.Record(time.Since(c.start))
+	}
+	if c.done != nil {
+		c.done(committed)
+	}
+	c.ses.inflight.Done()
+}
+
+// Defer returns Finish(true) as a standalone callback for a WAL appender:
+// it snapshots the (worker-reused) Completion so the acknowledgment can
+// fire from the flusher goroutine after the record is durable.
+func (c *Completion) Defer() func() {
+	cc := *c
+	return func() { cc.Finish(true) }
+}
+
+// Stats returns the executing worker's stats slot.
+func (c *Completion) Stats() *metrics.ThreadStats { return c.stats }
+
 // WorkerSession is the shared Session implementation for the synchronous
 // engines (2PL, Deadlock-free, Partitioned-store): n workers poll a
 // lock-free submission queue and run each transaction to completion
@@ -129,17 +169,20 @@ type WorkerSession struct {
 	wg       sync.WaitGroup
 	start    time.Time
 	guard    *InUseGuard // released on Close; may be nil (tests)
+	wal      *wal.Log    // log tail Drain/Close wait on; may be nil
 }
 
 // NewWorkerSession starts n workers. newWorker builds each worker's
 // execution closure (per-worker contexts, freelists, id sources live in
-// the closure); the closure runs one submission to completion and reports
-// whether it committed. Commit latency is recorded here, once per commit,
-// against the executing worker's stats. A non-nil guard is acquired now
-// and released on Close, enforcing the one-live-session contract for the
+// the closure); the closure runs one submission to completion and must
+// discharge the passed Completion exactly once — inline via Finish, or
+// from a WAL flush via Defer. log, when enabled, is the engine's commit
+// log: Drain and Close wait for its tail so a drained session's
+// acknowledged work is durable. A non-nil guard is acquired now and
+// released on Close, enforcing the one-live-session contract for the
 // owning engine.
-func NewWorkerSession(name string, workers, queueCap int, guard *InUseGuard,
-	newWorker func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool) *WorkerSession {
+func NewWorkerSession(name string, workers, queueCap int, guard *InUseGuard, log *wal.Log,
+	newWorker func(thread int, stats *metrics.ThreadStats) func(*txn.Txn, *Completion)) *WorkerSession {
 	if guard != nil {
 		guard.Acquire(name)
 	}
@@ -149,6 +192,7 @@ func NewWorkerSession(name string, workers, queueCap int, guard *InUseGuard,
 		queue: newMPMC(queueCap),
 		start: time.Now(),
 		guard: guard,
+		wal:   log,
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -156,6 +200,7 @@ func NewWorkerSession(name string, workers, queueCap int, guard *InUseGuard,
 			defer s.wg.Done()
 			stats := s.set.Thread(i)
 			exec := newWorker(i, stats)
+			comp := Completion{ses: s, stats: stats}
 			var idle IdleWaiter
 			for {
 				sub, ok := s.queue.tryDequeue()
@@ -169,15 +214,8 @@ func NewWorkerSession(name string, workers, queueCap int, guard *InUseGuard,
 					continue
 				}
 				idle.Reset()
-				start := time.Now()
-				committed := exec(sub.Txn)
-				if committed {
-					stats.Latency.Record(time.Since(start))
-				}
-				if sub.Done != nil {
-					sub.Done(committed)
-				}
-				s.inflight.Done()
+				comp.done, comp.start = sub.Done, time.Now()
+				exec(sub.Txn, &comp)
 			}
 		}(i)
 	}
@@ -203,13 +241,19 @@ func (s *WorkerSession) Submit(t *txn.Txn, done func(committed bool)) {
 	}
 }
 
-// Drain implements Session.
-func (s *WorkerSession) Drain() { s.inflight.Wait() }
+// Drain implements Session: all submissions completed and the log tail
+// durable (under Async acknowledgments run ahead of the device, so the
+// extra wait is what makes a clean drain lose nothing).
+func (s *WorkerSession) Drain() {
+	s.inflight.Wait()
+	s.wal.Drain()
+}
 
 // Close implements Session. A second Close panics: it would release the
 // engine's in-use guard out from under a newer session.
 func (s *WorkerSession) Close() metrics.Result {
 	s.inflight.Wait()
+	s.wal.Drain()
 	if !s.stop.CompareAndSwap(false, true) {
 		panic("engine: " + s.name + ": Close on a closed session")
 	}

@@ -115,8 +115,8 @@ func TestGaugeNegativePanics(t *testing.T) {
 // Submit on a closed WorkerSession must panic with a descriptive error
 // instead of spinning forever against the stopped worker pool.
 func TestWorkerSessionSubmitAfterClosePanics(t *testing.T) {
-	ws := NewWorkerSession("test", 1, 4, nil, func(int, *metrics.ThreadStats) func(*txn.Txn) bool {
-		return func(*txn.Txn) bool { return true }
+	ws := NewWorkerSession("test", 1, 4, nil, nil, func(int, *metrics.ThreadStats) func(*txn.Txn, *Completion) {
+		return func(_ *txn.Txn, c *Completion) { c.Finish(true) }
 	})
 	ws.Close()
 	defer func() {
@@ -131,8 +131,8 @@ func TestWorkerSessionSubmitAfterClosePanics(t *testing.T) {
 // Start→Close→Start reuse works.
 func TestInUseGuard(t *testing.T) {
 	newWS := func(g *InUseGuard) *WorkerSession {
-		return NewWorkerSession("test", 1, 4, g, func(int, *metrics.ThreadStats) func(*txn.Txn) bool {
-			return func(*txn.Txn) bool { return true }
+		return NewWorkerSession("test", 1, 4, g, nil, func(int, *metrics.ThreadStats) func(*txn.Txn, *Completion) {
+			return func(_ *txn.Txn, c *Completion) { c.Finish(true) }
 		})
 	}
 	var g InUseGuard
@@ -179,14 +179,15 @@ func TestGaugeWaitsForZero(t *testing.T) {
 // and Close aggregates across workers.
 func TestWorkerSessionLifecycle(t *testing.T) {
 	var executed atomic.Int64
-	ws := NewWorkerSession("test", 3, 16, nil, func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
-		return func(tx *txn.Txn) bool {
+	ws := NewWorkerSession("test", 3, 16, nil, nil, func(thread int, stats *metrics.ThreadStats) func(*txn.Txn, *Completion) {
+		return func(tx *txn.Txn, c *Completion) {
 			executed.Add(1)
 			if tx.ID == 7 { // marker: "gave up", must not record latency
-				return false
+				c.Finish(false)
+				return
 			}
 			stats.Committed++
-			return true
+			c.Finish(true)
 		}
 	})
 

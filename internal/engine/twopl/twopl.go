@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -35,6 +36,11 @@ type Config struct {
 	// MaxRetries bounds per-transaction retries; <=0 means retry until
 	// commit (the paper's behaviour — throughput counts commits only).
 	MaxRetries int
+	// Wal, when enabled, makes commit acknowledgment durable: workers
+	// append a redo record at pre-commit and the completion callback
+	// fires from the group-commit flusher. Nil or Off = the paper's
+	// instant acknowledgment.
+	Wal *wal.Log
 }
 
 // Engine is a conventional dynamic-2PL execution engine.
@@ -71,13 +77,16 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 
 // Start implements engine.Runtime.
 func (e *Engine) Start() engine.Session {
-	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse,
-		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
+	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
+		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn, *engine.Completion) {
 			ids := engine.NewIDSource(thread)
 			ctx := &execCtx{eng: e, thread: thread}
-			return func(t *txn.Txn) bool {
+			if e.cfg.Wal.Enabled() {
+				ctx.wal = e.cfg.Wal.NewAppender(stats)
+			}
+			return func(t *txn.Txn, comp *engine.Completion) {
 				t.ID = ids.Next()
-				return e.execute(ctx, t, stats)
+				e.execute(ctx, t, stats, comp)
 			}
 		})
 }
@@ -86,10 +95,12 @@ func (e *Engine) Start() engine.Session {
 // queue stocked while each worker runs a transaction.
 func (e *Engine) Clients() int { return 2 * e.cfg.Threads }
 
-// execute runs one transaction to commit (or until MaxRetries gives up,
-// reporting false). The wait-die timestamp is fixed across retries so old
-// transactions eventually win (no starvation).
-func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats) bool {
+// execute runs one transaction to commit (or until MaxRetries gives up),
+// discharging comp exactly once — inline at pre-commit without a WAL,
+// from the group-commit flusher with one. The wait-die timestamp is
+// fixed across retries so old transactions eventually win (no
+// starvation).
+func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats, comp *engine.Completion) {
 	t.TS = engine.Timestamp(ctx.thread)
 	retries := 0
 	for {
@@ -97,13 +108,16 @@ func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats) b
 		ctx.begin(t)
 		err := t.Logic(ctx)
 		if err == nil {
-			ctx.commit()
+			ctx.commit(comp)
 			total := time.Since(start)
 			stats.Committed++
 			stats.AddWait(ctx.waited)
 			stats.AddLock(ctx.locked)
 			stats.AddExec(total - ctx.waited - ctx.locked)
-			return true
+			if ctx.wal == nil {
+				comp.Finish(true)
+			}
+			return
 		}
 		ctx.abort()
 		total := time.Since(start)
@@ -116,7 +130,8 @@ func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats) b
 		}
 		retries++
 		if e.cfg.MaxRetries > 0 && retries >= e.cfg.MaxRetries {
-			return false
+			comp.Finish(false)
+			return
 		}
 		// Yield before retrying so the conflicting holder can finish;
 		// retry storms otherwise starve holders when logical threads
@@ -126,10 +141,12 @@ func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats) b
 }
 
 // execCtx is the txn.Ctx for dynamic 2PL: locks are acquired on first
-// touch; an undo log backs out in-place writes on abort.
+// touch; an undo log backs out in-place writes on abort; a non-nil wal
+// appender captures the redo write set for durable commit.
 type execCtx struct {
 	eng    *Engine
 	thread int
+	wal    *wal.Appender
 
 	t      *txn.Txn
 	held   []*lock.Request
@@ -190,12 +207,21 @@ func (c *execCtx) Write(table int, key uint64) ([]byte, error) {
 		return nil, err
 	}
 	c.undo.Record(rec)
+	if c.wal != nil {
+		c.wal.Note(table, key, rec)
+	}
 	return rec, nil
 }
 
 // Insert implements txn.Ctx.
 func (c *execCtx) Insert(table int, key uint64, value []byte) error {
-	return engine.Insert(c.eng.cfg.DB, table, key, value)
+	if err := engine.Insert(c.eng.cfg.DB, table, key, value); err != nil {
+		return err
+	}
+	if c.wal != nil {
+		c.wal.Note(table, key, c.eng.cfg.DB.Table(table).Get(key))
+	}
+	return nil
 }
 
 func (c *execCtx) releaseAll() {
@@ -208,12 +234,23 @@ func (c *execCtx) releaseAll() {
 	c.locked += time.Since(start)
 }
 
-func (c *execCtx) commit() {
+// commit seals the redo record before releasing a single lock: the LSN
+// assigned inside Wal.Commit must order before any dependent
+// transaction's, and dependents can only run after the release below.
+// Early lock release is safe — the redo-only log never exposes
+// uncommitted data (writes are already applied in place).
+func (c *execCtx) commit(comp *engine.Completion) {
 	c.undo.Reset()
+	if c.wal != nil {
+		c.wal.Commit(comp.Defer())
+	}
 	c.releaseAll()
 }
 
 func (c *execCtx) abort() {
 	c.undo.Rollback()
+	if c.wal != nil {
+		c.wal.Abort()
+	}
 	c.releaseAll()
 }

@@ -108,9 +108,12 @@ func TestTimeBreakdownAccounted(t *testing.T) {
 	if tot.Exec <= 0 || tot.Lock <= 0 {
 		t.Fatalf("breakdown missing components: %+v", tot)
 	}
-	e, l, w := tot.Breakdown()
-	if e+l+w < 99.9 || e+l+w > 100.1 {
-		t.Fatalf("breakdown sums to %v", e+l+w)
+	e, l, w, lg := tot.Breakdown()
+	if e+l+w+lg < 99.9 || e+l+w+lg > 100.1 {
+		t.Fatalf("breakdown sums to %v", e+l+w+lg)
+	}
+	if lg != 0 {
+		t.Fatalf("log share %v without a WAL", lg)
 	}
 }
 

@@ -46,7 +46,7 @@ func TestHeldLockReuseAndUpgradeGuard(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "upgrade") {
 		t.Fatalf("upgrade err = %v", err)
 	}
-	ctx.commit()
+	ctx.commit(nil) // comp is only consulted when a WAL is attached
 }
 
 // Undo restores exactly the pre-transaction image after a mid-logic abort.

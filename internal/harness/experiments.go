@@ -257,8 +257,14 @@ func fig10(c Config) {
 			s := tpccSchema(c, cfg.w)
 			names, engines := tpccEngines(c, s, total)
 			res := point(c, engines[i], &tpcc.Mix{S: s})
-			e, l, w := res.Totals.Breakdown()
+			e, l, w, _ := res.Totals.Breakdown()
 			fmt.Fprintf(c.Out, "%-18s %8.1f %8.1f %8.1f\n", names[i], e, l, w)
+			c.JSONRow(map[string]interface{}{
+				"x_label": "warehouses", "x": cfg.w, "system": names[i],
+				"series": map[string]interface{}{
+					"tps": res.Throughput(), "exec_pct": e, "lock_pct": l, "wait_pct": w,
+				},
+			})
 		}
 	}
 }

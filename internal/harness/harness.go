@@ -103,6 +103,7 @@ func Registry() []Experiment {
 		{"openloop", "Open loop", "commit-latency percentiles vs fixed Poisson arrival rate", openloop},
 		{"batching", "Extension", "message-plane ring operations and throughput vs BatchSize", batching},
 		{"adaptive", "Extension", "elastic vs static CC routing across a mid-run hot-set shift", adaptive},
+		{"durability", "Extension", "throughput/latency vs WAL sync policy and group-commit size", durability},
 	}
 }
 

@@ -9,6 +9,12 @@
 //   - Lock:    performing locking work (manipulating the lock table,
 //     running deadlock-handler logic, building/sending lock messages).
 //   - Wait:    blocked on a conflicting lock, or idle waiting for grants.
+//
+// A fourth component — Log — extends the paper's three-way split for the
+// durable commit pipeline: the flush stall between a transaction's
+// pre-commit WAL append and its group-commit acknowledgment. It is zero
+// whenever durability is off, keeping the paper-faithful breakdown
+// intact.
 package metrics
 
 import (
@@ -26,6 +32,13 @@ type ThreadStats struct {
 	ExecNanos int64
 	LockNanos int64
 	WaitNanos int64
+	// LogNanos is the durability flush stall: pre-commit append →
+	// group-commit acknowledgment. Accrued by the WAL flusher goroutine
+	// (never by the worker itself), so it is a separate field from the
+	// worker-owned three above; the Go memory model keeps distinct fields
+	// race-free, and the session's drain barrier orders the final writes
+	// before aggregation.
+	LogNanos int64
 
 	// Latency records committed-transaction latency: first submission to
 	// commit, retries included.
@@ -42,6 +55,9 @@ func (s *ThreadStats) AddLock(d time.Duration) { s.LockNanos += int64(d) }
 
 // AddWait accrues waiting time.
 func (s *ThreadStats) AddWait(d time.Duration) { s.WaitNanos += int64(d) }
+
+// AddLog accrues durability flush-stall time.
+func (s *ThreadStats) AddLog(d time.Duration) { s.LogNanos += int64(d) }
 
 // Set is a fixed group of per-thread slots.
 type Set struct {
@@ -68,6 +84,7 @@ func (s *Set) Totals() Totals {
 		t.Exec += time.Duration(th.ExecNanos)
 		t.Lock += time.Duration(th.LockNanos)
 		t.Wait += time.Duration(th.WaitNanos)
+		t.Log += time.Duration(th.LogNanos)
 		t.Latency.Merge(&th.Latency)
 	}
 	return t
@@ -81,18 +98,21 @@ type Totals struct {
 	Exec      time.Duration
 	Lock      time.Duration
 	Wait      time.Duration
+	Log       time.Duration
 	Latency   Histogram
 }
 
-// Breakdown returns the execute/lock/wait percentages of accounted time.
+// Breakdown returns the execute/lock/wait/log percentages of accounted
+// time. Log is the durability flush stall, zero when the WAL is off —
+// in which case the first three are exactly the paper's three-way split.
 // All zeros when nothing was recorded.
-func (t Totals) Breakdown() (execPct, lockPct, waitPct float64) {
-	total := t.Exec + t.Lock + t.Wait
+func (t Totals) Breakdown() (execPct, lockPct, waitPct, logPct float64) {
+	total := t.Exec + t.Lock + t.Wait + t.Log
 	if total <= 0 {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
 	f := 100 / float64(total)
-	return float64(t.Exec) * f, float64(t.Lock) * f, float64(t.Wait) * f
+	return float64(t.Exec) * f, float64(t.Lock) * f, float64(t.Wait) * f, float64(t.Log) * f
 }
 
 // AbortRate returns aborts per commit attempt.
@@ -120,8 +140,14 @@ func (r Result) Throughput() float64 {
 }
 
 // String implements fmt.Stringer with the harness's standard row format.
+// The log column appears only when a durability flush stall was recorded,
+// so WAL-off output is unchanged.
 func (r Result) String() string {
-	e, l, w := r.Totals.Breakdown()
-	return fmt.Sprintf("%-22s %12.0f txns/s  commits=%-9d aborts=%-7d exec=%4.1f%% lock=%4.1f%% wait=%4.1f%%",
+	e, l, w, lg := r.Totals.Breakdown()
+	s := fmt.Sprintf("%-22s %12.0f txns/s  commits=%-9d aborts=%-7d exec=%4.1f%% lock=%4.1f%% wait=%4.1f%%",
 		r.System, r.Throughput(), r.Totals.Committed, r.Totals.Aborted, e, l, w)
+	if r.Totals.Log > 0 {
+		s += fmt.Sprintf(" log=%4.1f%%", lg)
+	}
+	return s
 }

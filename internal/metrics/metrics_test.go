@@ -29,15 +29,20 @@ func TestTotalsAggregation(t *testing.T) {
 
 func TestBreakdownPercentages(t *testing.T) {
 	tot := Totals{Exec: 20, Lock: 30, Wait: 50}
-	e, l, w := tot.Breakdown()
-	if math.Abs(e-20) > 1e-9 || math.Abs(l-30) > 1e-9 || math.Abs(w-50) > 1e-9 {
-		t.Fatalf("breakdown = %v %v %v", e, l, w)
+	e, l, w, lg := tot.Breakdown()
+	if math.Abs(e-20) > 1e-9 || math.Abs(l-30) > 1e-9 || math.Abs(w-50) > 1e-9 || lg != 0 {
+		t.Fatalf("breakdown = %v %v %v %v", e, l, w, lg)
 	}
 	if math.Abs(e+l+w-100) > 1e-9 {
 		t.Fatal("percentages do not sum to 100")
 	}
-	e, l, w = Totals{}.Breakdown()
-	if e != 0 || l != 0 || w != 0 {
+	// With a durability flush stall the log share joins the split.
+	e, l, w, lg = Totals{Exec: 25, Lock: 25, Wait: 25, Log: 25}.Breakdown()
+	if math.Abs(lg-25) > 1e-9 || math.Abs(e+l+w+lg-100) > 1e-9 {
+		t.Fatalf("log breakdown = %v %v %v %v", e, l, w, lg)
+	}
+	e, l, w, lg = Totals{}.Breakdown()
+	if e != 0 || l != 0 || w != 0 || lg != 0 {
 		t.Fatal("empty totals breakdown not zero")
 	}
 }

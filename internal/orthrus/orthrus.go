@@ -68,6 +68,7 @@ import (
 	"repro/internal/spsc"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -142,6 +143,13 @@ type Config struct {
 	// 2·Ncc messages per acquisition instead of Ncc+1. Exists to ablate
 	// the forwarding optimization; MessageStats quantifies the saving.
 	DisableForwarding bool
+	// Wal, when enabled, makes commit acknowledgment durable: execution
+	// threads pipeline redo records into per-thread append buffers at
+	// pre-commit — inside the existing asynchronous in-flight window, so
+	// CC threads never stall on I/O — and the session completion fires
+	// from the group-commit flusher in LSN order. Nil or Off = the
+	// paper's instant acknowledgment.
+	Wal *wal.Log
 }
 
 // CCStats is one CC thread's share of the message plane — the per-thread
@@ -556,8 +564,12 @@ func (ses *session) Submit(t *txn.Txn, done func(committed bool)) {
 	ses.submit <- engine.Submission{Txn: t, Done: done}
 }
 
-// Drain implements engine.Session.
-func (ses *session) Drain() { ses.inflight.Wait() }
+// Drain implements engine.Session: all submissions acknowledged and the
+// log tail durable.
+func (ses *session) Drain() {
+	ses.inflight.Wait()
+	ses.e.cfg.Wal.Drain()
+}
 
 // Close implements engine.Session. It stops the adaptive controller
 // (completing any in-progress migration, so no partition stays quiesced),
@@ -573,6 +585,7 @@ func (ses *session) Close() metrics.Result {
 		ses.ctrl.stop()
 	}
 	ses.inflight.Wait()
+	ses.e.cfg.Wal.Drain() // log tail: Async acks run ahead of the device
 	ses.execStop.Store(true)
 	ses.execWg.Wait()
 	ses.s.ccStop.Store(true)
@@ -665,11 +678,17 @@ type execThread struct {
 	out     [][]message
 	scratch []message
 	ops     opCounter
+
+	// wal is this thread's redo append buffer (nil when durability is
+	// off). Commits pipeline into it at pre-commit and the window slot
+	// frees immediately, so flush latency overlaps new transactions the
+	// same way lock-wait does.
+	wal *wal.Appender
 }
 
 func newExecThread(ses *session, id int, stats *metrics.ThreadStats) *execThread {
 	cfg := ses.s.cfg
-	return &execThread{
+	x := &execThread{
 		s:         ses.s,
 		ses:       ses,
 		id:        id,
@@ -682,6 +701,11 @@ func newExecThread(ses *session, id int, stats *metrics.ThreadStats) *execThread
 		out:       make([][]message, cfg.CCThreads),
 		scratch:   make([]message, cfg.BatchSize),
 	}
+	if cfg.Wal.Enabled() {
+		x.wal = cfg.Wal.NewAppender(stats)
+		x.ctx.Wal = x.wal
+	}
+	return x
 }
 
 func (x *execThread) loop() {
@@ -954,16 +978,27 @@ func (x *execThread) finish(w *wrapper) {
 	locked := len(w.hops) > 0
 	if err == nil {
 		x.ctx.Commit()
+		if x.wal != nil {
+			// Seal the redo record before sending a single release: the
+			// LSN must order before any dependent transaction's, and
+			// dependents can only be granted after these releases. The
+			// append is a buffer write — the device I/O happens on the
+			// flusher — so the window slot frees immediately and CC
+			// threads never wait on a sync.
+			x.wal.Commit(x.deferCommit(w))
+		}
 		x.release(w)
 		x.stats.Committed++
-		x.stats.Latency.Record(time.Since(w.start))
 		if locked {
 			x.inflight--
 		}
-		if w.done != nil {
-			w.done(true)
+		if x.wal == nil {
+			x.stats.Latency.Record(time.Since(w.start))
+			if w.done != nil {
+				w.done(true)
+			}
+			x.ses.inflight.Done()
 		}
-		x.ses.inflight.Done()
 		return
 	}
 	if err != txn.ErrEstimateMiss {
@@ -984,6 +1019,24 @@ func (x *execThread) finish(w *wrapper) {
 	t.Replan(t)
 	t.Partitions = nil
 	x.submit(t, w.done, w.start)
+}
+
+// deferCommit builds the durable-commit acknowledgment for w: run by the
+// WAL flusher once the redo record is synced, in LSN order. Latency then
+// honestly includes the flush stall. Latency.Record is safe from the
+// flusher goroutine: while a WAL is on, this thread's histogram is
+// written by the flusher's acks plus the rare read-only inline fast
+// path, which wal.Appender.Commit takes only when every earlier ack of
+// this appender has already fired (see its comment); the gauges are
+// atomics.
+func (x *execThread) deferCommit(w *wrapper) func() {
+	return func() {
+		x.stats.Latency.Record(time.Since(w.start))
+		if w.done != nil {
+			w.done(true)
+		}
+		x.ses.inflight.Done()
+	}
 }
 
 // release notifies every CC thread in the chain. Fire-and-forget: release

@@ -33,6 +33,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -46,6 +47,9 @@ type Config struct {
 	// Partition maps records to partitions; defaults to
 	// txn.HashPartitioner(Partitions).
 	Partition txn.PartitionFunc
+	// Wal, when enabled, makes commit acknowledgment durable (redo append
+	// under the partition locks, acknowledgment from the flusher).
+	Wal *wal.Log
 }
 
 // spinlock is a partition's test-and-set lock, padded to its own cache
@@ -104,14 +108,16 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 
 // Start implements engine.Runtime.
 func (e *Engine) Start() engine.Session {
-	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse,
-		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn) bool {
+	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
+		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn, *engine.Completion) {
 			ids := engine.NewIDSource(thread)
 			ctx := &execCtx{db: e.cfg.DB}
-			return func(t *txn.Txn) bool {
+			if e.cfg.Wal.Enabled() {
+				ctx.wal = e.cfg.Wal.NewAppender(stats)
+			}
+			return func(t *txn.Txn, comp *engine.Completion) {
 				t.ID = ids.Next()
-				e.execute(ctx, t, stats)
-				return true
+				e.execute(ctx, t, stats, comp)
 			}
 		})
 }
@@ -119,9 +125,10 @@ func (e *Engine) Start() engine.Session {
 // Clients implements engine.Runtime.
 func (e *Engine) Clients() int { return 2 * e.cfg.Threads }
 
-// execute runs one transaction under its partition locks. There is no
-// abort path: partition locks serialize every access up front.
-func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats) {
+// execute runs one transaction under its partition locks, discharging
+// comp exactly once. There is no abort path: partition locks serialize
+// every access up front.
+func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats, comp *engine.Completion) {
 	// The partition footprint: pre-declared by the generator or
 	// derived from the declared access set. Ascending order keeps
 	// partition-lock acquisition deadlock-free; generator-provided
@@ -142,6 +149,12 @@ func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats) {
 	if err := t.Logic(ctx); err != nil {
 		panic(fmt.Sprintf("partstore: transaction logic failed: %v", err))
 	}
+	// Seal the redo record while the partition locks are still held: a
+	// dependent transaction can only reach these partitions after the
+	// unlocks below, so its LSN orders after this one.
+	if ctx.wal != nil {
+		ctx.wal.Commit(comp.Defer())
+	}
 	t2 := time.Now()
 
 	for i := len(parts) - 1; i >= 0; i-- {
@@ -153,14 +166,19 @@ func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats) {
 	stats.AddWait(waited)
 	stats.AddLock(t1.Sub(t0) - waited + t3.Sub(t2))
 	stats.AddExec(t2.Sub(t1))
+	if ctx.wal == nil {
+		comp.Finish(true)
+	}
 }
 
 // execCtx accesses storage directly: partition locks already serialize all
 // access, so there is no record locking, no undo, and no abort path —
-// exactly the H-Store execution model.
+// exactly the H-Store execution model. A non-nil wal appender captures
+// the redo write set.
 type execCtx struct {
-	db *storage.DB
-	t  *txn.Txn
+	db  *storage.DB
+	t   *txn.Txn
+	wal *wal.Appender
 }
 
 // Read implements txn.Ctx.
@@ -170,12 +188,22 @@ func (c *execCtx) Read(table int, key uint64) ([]byte, error) {
 
 // Write implements txn.Ctx.
 func (c *execCtx) Write(table int, key uint64) ([]byte, error) {
-	return c.db.Table(table).Get(key), nil
+	rec := c.db.Table(table).Get(key)
+	if c.wal != nil {
+		c.wal.Note(table, key, rec)
+	}
+	return rec, nil
 }
 
 // Insert implements txn.Ctx.
 func (c *execCtx) Insert(table int, key uint64, value []byte) error {
-	return c.db.Table(table).Insert(key, value)
+	if err := c.db.Table(table).Insert(key, value); err != nil {
+		return err
+	}
+	if c.wal != nil {
+		c.wal.Note(table, key, c.db.Table(table).Get(key))
+	}
+	return nil
 }
 
 var _ engine.System = (*Engine)(nil)

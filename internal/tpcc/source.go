@@ -1,6 +1,7 @@
 package tpcc
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/txn"
@@ -26,10 +27,38 @@ type Mix struct {
 	DeliveryWeight    int
 	StockLevelWeight  int
 
-	// RemoteNewOrderPct / RemotePaymentPct override the spec rates;
-	// zero means the defaults above.
+	// RemoteNewOrderPct / RemotePaymentPct override the spec rates and
+	// must lie in [0, 100]; zero means the defaults above (there is no
+	// sentinel for "never remote" — single-warehouse schemas are always
+	// local, see GenNewOrderParams).
 	RemoteNewOrderPct int
 	RemotePaymentPct  int
+}
+
+// Validate panics on a malformed mix — negative weights or remote
+// percentages outside [0, 100] — with a message naming the field, the
+// same eager-validation style as orthrus.Config. Next validates on every
+// draw (a handful of integer compares, invisible next to transaction
+// generation), so a bad mix fails loudly instead of producing a silently
+// skewed or out-of-range draw.
+func (m *Mix) Validate() {
+	check := func(name string, v int) {
+		if v < 0 {
+			panic(fmt.Sprintf("tpcc: Mix.%s must not be negative (got %d)", name, v))
+		}
+	}
+	check("NewOrderWeight", m.NewOrderWeight)
+	check("PaymentWeight", m.PaymentWeight)
+	check("OrderStatusWeight", m.OrderStatusWeight)
+	check("DeliveryWeight", m.DeliveryWeight)
+	check("StockLevelWeight", m.StockLevelWeight)
+	pct := func(name string, v int) {
+		if v < 0 || v > 100 {
+			panic(fmt.Sprintf("tpcc: Mix.%s must be in [0, 100] (got %d; 0 means the spec default)", name, v))
+		}
+	}
+	pct("RemoteNewOrderPct", m.RemoteNewOrderPct)
+	pct("RemotePaymentPct", m.RemotePaymentPct)
 }
 
 func (m *Mix) rates() (no, pay, os, del, sl, total int) {
@@ -57,6 +86,7 @@ func (m *Mix) remotePay() int {
 
 // Next implements workload.Source.
 func (m *Mix) Next(_ int, rng *rand.Rand) *txn.Txn {
+	m.Validate()
 	no, pay, os, del, _, total := m.rates()
 	r := rng.Intn(total)
 	switch {

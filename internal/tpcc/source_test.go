@@ -1,0 +1,56 @@
+package tpcc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustPanicContaining(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one mentioning %q)", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not mention %q", r, substr)
+		}
+	}()
+	f()
+}
+
+// Malformed mixes — negative weights, remote percentages outside
+// [0, 100] — panic with a message naming the field instead of silently
+// skewing the draw (negative weights used to shrink the total and shift
+// every threshold; out-of-range percentages were passed straight to the
+// generators).
+func TestMixValidation(t *testing.T) {
+	s := testSchema(t, 1)
+	rng := rand.New(rand.NewSource(1))
+	next := func(m Mix) { (&m).Next(0, rng) }
+
+	mustPanicContaining(t, "NewOrderWeight", func() { next(Mix{S: s, NewOrderWeight: -1}) })
+	mustPanicContaining(t, "PaymentWeight", func() { next(Mix{S: s, PaymentWeight: -5, NewOrderWeight: 10}) })
+	mustPanicContaining(t, "OrderStatusWeight", func() { next(Mix{S: s, OrderStatusWeight: -1}) })
+	mustPanicContaining(t, "DeliveryWeight", func() { next(Mix{S: s, DeliveryWeight: -1}) })
+	mustPanicContaining(t, "StockLevelWeight", func() { next(Mix{S: s, StockLevelWeight: -1}) })
+	mustPanicContaining(t, "RemoteNewOrderPct", func() { next(Mix{S: s, RemoteNewOrderPct: 101}) })
+	mustPanicContaining(t, "RemoteNewOrderPct", func() { next(Mix{S: s, RemoteNewOrderPct: -10}) })
+	mustPanicContaining(t, "RemotePaymentPct", func() { next(Mix{S: s, RemotePaymentPct: 200}) })
+
+	// Valid mixes draw fine: the default, a custom weighting, and the
+	// percentage boundaries.
+	for _, m := range []Mix{
+		{S: s},
+		{S: s, NewOrderWeight: 45, PaymentWeight: 43, OrderStatusWeight: 4, DeliveryWeight: 4, StockLevelWeight: 4},
+		{S: s, RemoteNewOrderPct: 100, RemotePaymentPct: 100},
+	} {
+		m := m
+		for i := 0; i < 50; i++ {
+			if tx := m.Next(0, rng); tx == nil || tx.Logic == nil {
+				t.Fatal("valid mix produced a nil transaction")
+			}
+		}
+	}
+}

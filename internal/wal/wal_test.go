@@ -1,0 +1,410 @@
+package wal
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	writes := []redoWrite{
+		{table: 0, key: 7, val: []byte("hello")},
+		{table: 3, key: 1 << 40, val: make([]byte, 100)},
+		{table: 1, key: 0, val: nil},
+	}
+	buf := appendRecord(nil, 42, writes)
+	rec, n, ok := decodeRecord(buf)
+	if !ok || n != len(buf) {
+		t.Fatalf("decode failed: ok=%v n=%d len=%d", ok, n, len(buf))
+	}
+	if rec.lsn != 42 || len(rec.writes) != len(writes) {
+		t.Fatalf("lsn=%d writes=%d", rec.lsn, len(rec.writes))
+	}
+	for i, w := range rec.writes {
+		if w.table != writes[i].table || w.key != writes[i].key || !bytes.Equal(w.val, writes[i].val) {
+			t.Fatalf("write %d mismatch: %+v vs %+v", i, w, writes[i])
+		}
+	}
+}
+
+// A record truncated at any byte boundary must fail decoding cleanly —
+// never panic, never decode into a wrong record.
+func TestRecordTornAtEveryByte(t *testing.T) {
+	buf := appendRecord(nil, 9, []redoWrite{{table: 2, key: 5, val: []byte("payload")}})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, ok := decodeRecord(buf[:cut]); ok {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(buf))
+		}
+	}
+	// Corrupt each byte in turn: decoding must fail (or, for bytes past
+	// the checksummed region, never misreport the LSN or writes).
+	for i := 0; i < len(buf); i++ {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0xFF
+		if rec, _, ok := decodeRecord(mut); ok {
+			t.Fatalf("corruption at byte %d decoded: %+v", i, rec)
+		}
+	}
+}
+
+func TestGroupCommitSizeTrigger(t *testing.T) {
+	dev := NewMemDevice()
+	l := NewLog(dev, Group(4, time.Hour)) // interval never fires
+	defer l.Close()
+	a := l.NewAppender(nil)
+	var acked atomic.Int64
+	rec := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < 3; i++ {
+		a.Note(0, uint64(i), rec)
+		a.Commit(func() { acked.Add(1) })
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := acked.Load(); n != 0 {
+		t.Fatalf("acks before the group filled: %d", n)
+	}
+	a.Note(0, 3, rec)
+	a.Commit(func() { acked.Add(1) })
+	waitFor(t, "group of 4 acks", func() bool { return acked.Load() == 4 })
+	if dev.SyncedLen() != dev.Len() || dev.Len() == 0 {
+		t.Fatalf("acks fired without full sync: synced=%d len=%d", dev.SyncedLen(), dev.Len())
+	}
+}
+
+func TestGroupCommitIntervalTrigger(t *testing.T) {
+	dev := NewMemDevice()
+	l := NewLog(dev, Group(1<<20, time.Millisecond)) // size never fires
+	defer l.Close()
+	a := l.NewAppender(nil)
+	var acked atomic.Int64
+	a.Note(0, 1, []byte{1})
+	start := time.Now()
+	a.Commit(func() { acked.Add(1) })
+	waitFor(t, "interval ack", func() bool { return acked.Load() == 1 })
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("interval flush took %v", d)
+	}
+}
+
+// Acknowledgments fire in LSN order even when appender buffers reach the
+// device out of LSN order.
+func TestAcksInLSNOrder(t *testing.T) {
+	dev := NewMemDevice()
+	l := NewLog(dev, Group(8, 500*time.Microsecond))
+	defer l.Close()
+	const threads, perThread = 4, 200
+	var mu sync.Mutex
+	var order []uint64
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := l.NewAppender(nil)
+			for j := 0; j < perThread; j++ {
+				a.Note(0, uint64(j), []byte{byte(i), byte(j)})
+				a.Commit(func() {
+					// Runs on the flusher goroutine, which has already
+					// advanced its frontier to this commit's LSN; the
+					// recorded sequence must therefore be ascending.
+					mu.Lock()
+					order = append(order, l.frontier)
+					mu.Unlock()
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	l.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != threads*perThread {
+		t.Fatalf("acks = %d, want %d", len(order), threads*perThread)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("ack %d saw frontier %d after %d — out of LSN order", i, order[i], order[i-1])
+		}
+	}
+	if got := l.DurableLSN(); got != uint64(threads*perThread) {
+		t.Fatalf("durable LSN %d, want %d", got, threads*perThread)
+	}
+}
+
+func TestAsyncAcksInlineAndDrainWaits(t *testing.T) {
+	dev := NewMemDevice()
+	l := NewLog(dev, Async())
+	defer l.Close()
+	a := l.NewAppender(nil)
+	fired := false
+	a.Note(0, 1, []byte{9})
+	a.Commit(func() { fired = true })
+	if !fired {
+		t.Fatal("async ack did not fire inline")
+	}
+	l.Drain()
+	if l.DurableLSN() != 1 {
+		t.Fatalf("drain returned with durable LSN %d", l.DurableLSN())
+	}
+	if dev.Len() == 0 {
+		t.Fatal("drain returned before the record reached the device")
+	}
+}
+
+// A read-only transaction that may have observed a not-yet-durable
+// write (early lock release) must not be acknowledged ahead of it: its
+// ack waits for the log tail it saw at commit, and fires after the
+// writer's.
+func TestReadOnlyAckWaitsForObservedWrites(t *testing.T) {
+	dev := NewMemDevice()
+	l := NewLog(dev, Group(1<<20, time.Hour)) // flushes only when forced
+	defer l.Close()
+	a := l.NewAppender(nil)
+	var mu sync.Mutex
+	var order []string
+	record := func(tag string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+	a.Note(0, 1, []byte{1})
+	a.Commit(record("write"))
+	a.Commit(record("read-only")) // no writes captured: observed tail = LSN 1
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	if len(order) != 0 {
+		t.Fatalf("acks fired before the observed write was durable: %v", order)
+	}
+	mu.Unlock()
+	l.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "write" || order[1] != "read-only" {
+		t.Fatalf("ack order = %v, want [write read-only]", order)
+	}
+}
+
+// Once the log tail is durable, a read-only commit acknowledges inline —
+// the fast path that keeps read-mostly workloads off the flush cadence.
+func TestReadOnlyAckInlineWhenTailDurable(t *testing.T) {
+	l := NewLog(NewMemDevice(), Group(4, time.Millisecond))
+	defer l.Close()
+	a := l.NewAppender(nil)
+	a.Note(0, 1, []byte{1})
+	var wrote atomic.Bool
+	a.Commit(func() { wrote.Store(true) })
+	l.Drain()
+	fired := false
+	a.Commit(func() { fired = true })
+	if !fired || !wrote.Load() {
+		t.Fatalf("read-only ack not inline on a durable tail (fired=%v)", fired)
+	}
+}
+
+func TestReadOnlyCommitSkipsLog(t *testing.T) {
+	l := NewLog(NewMemDevice(), Group(4, time.Millisecond))
+	defer l.Close()
+	a := l.NewAppender(nil)
+	fired := false
+	a.Commit(func() { fired = true })
+	if !fired {
+		t.Fatal("read-only commit did not ack inline")
+	}
+	if l.LastLSN() != 0 {
+		t.Fatalf("read-only commit consumed LSN %d", l.LastLSN())
+	}
+}
+
+func TestAbortDiscardsCapture(t *testing.T) {
+	l := NewLog(NewMemDevice(), Group(1, time.Millisecond))
+	defer l.Close()
+	a := l.NewAppender(nil)
+	a.Note(0, 1, []byte{1})
+	if a.Pending() != 1 {
+		t.Fatal("note not captured")
+	}
+	a.Abort()
+	if a.Pending() != 0 {
+		t.Fatal("abort kept captures")
+	}
+	a.Commit(nil) // read-only now
+	l.Drain()
+	if l.LastLSN() != 0 {
+		t.Fatal("aborted writes were logged")
+	}
+}
+
+func TestDuplicateNoteCollapses(t *testing.T) {
+	l := NewLog(NewMemDevice(), Group(1, time.Millisecond))
+	defer l.Close()
+	a := l.NewAppender(nil)
+	rec := []byte{1}
+	a.Note(3, 7, rec)
+	a.Note(3, 7, rec)
+	a.Note(2, 7, rec)
+	if a.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", a.Pending())
+	}
+}
+
+func TestFlushStallAccounting(t *testing.T) {
+	var stats metrics.ThreadStats
+	l := NewLog(NewMemDevice(), Group(1<<20, 2*time.Millisecond))
+	defer l.Close()
+	a := l.NewAppender(&stats)
+	var done atomic.Bool
+	a.Note(0, 1, []byte{1})
+	a.Commit(func() { done.Store(true) })
+	waitFor(t, "ack", done.Load)
+	l.Drain()
+	if stats.LogNanos <= 0 {
+		t.Fatalf("LogNanos = %d, want > 0 (flush stall of ~interval)", stats.LogNanos)
+	}
+}
+
+func TestStatsCountersAndAmortization(t *testing.T) {
+	dev := NewMemDevice()
+	l := NewLog(dev, Group(64, time.Hour))
+	a := l.NewAppender(nil)
+	for i := 0; i < 256; i++ {
+		a.Note(0, uint64(i), []byte{byte(i)})
+		a.Commit(nil)
+	}
+	l.Drain()
+	st := l.Stats()
+	if st.Records != 256 {
+		t.Fatalf("records = %d", st.Records)
+	}
+	if st.Flushes == 0 || st.RecordsPerFlush() < 2 {
+		t.Fatalf("no group amortization: flushes=%d recs/flush=%.1f", st.Flushes, st.RecordsPerFlush())
+	}
+	if st.Syncs == 0 || st.Syncs != dev.Syncs() {
+		t.Fatalf("sync accounting: stats=%d dev=%d", st.Syncs, dev.Syncs())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // second Close is a no-op
+		t.Fatal(err)
+	}
+}
+
+func TestDisabledLogIsInert(t *testing.T) {
+	var l *Log
+	if l.Enabled() {
+		t.Fatal("nil log enabled")
+	}
+	l.Drain()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	off := NewLog(nil, Off())
+	if off.Enabled() {
+		t.Fatal("off log enabled")
+	}
+	off.Drain()
+	if err := off.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- replay ------------------------------------------------------------
+
+func replayDB(t *testing.T, rows uint64) (*storage.DB, int) {
+	t.Helper()
+	db := storage.NewDB()
+	tbl := db.Create(storage.Layout{Name: "t", NumRecords: rows, RecordSize: 8})
+	return db, tbl
+}
+
+func TestReplayAppliesContiguousPrefix(t *testing.T) {
+	db, tbl := replayDB(t, 16)
+	val := func(v byte) []byte { return []byte{v, 0, 0, 0, 0, 0, 0, 0} }
+	// Device order 2, 1, 4: LSN 3 missing (stuck in a crashed appender's
+	// buffer). Only 1..2 may apply; 4 was never acknowledged.
+	img := appendRecord(nil, 2, []redoWrite{{table: int32(tbl), key: 1, val: val(2)}})
+	img = appendRecord(img, 1, []redoWrite{{table: int32(tbl), key: 0, val: val(1)}})
+	img = appendRecord(img, 4, []redoWrite{{table: int32(tbl), key: 2, val: val(4)}})
+	st := Replay(img, db)
+	if st.Scanned != 3 || st.Applied != 2 || st.AppliedLSN != 2 || st.Torn {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := db.Table(tbl).Get(0)[0]; got != 1 {
+		t.Fatalf("key 0 = %d", got)
+	}
+	if got := db.Table(tbl).Get(1)[0]; got != 2 {
+		t.Fatalf("key 1 = %d", got)
+	}
+	if got := db.Table(tbl).Get(2)[0]; got != 0 {
+		t.Fatalf("unacknowledged LSN 4 applied: key 2 = %d", got)
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	img := appendRecord(nil, 1, []redoWrite{{table: 0, key: 0, val: []byte{1, 0, 0, 0, 0, 0, 0, 0}}})
+	whole := len(img)
+	img = appendRecord(img, 2, []redoWrite{{table: 0, key: 1, val: []byte{2, 0, 0, 0, 0, 0, 0, 0}}})
+	for cut := 0; cut <= len(img); cut++ {
+		db, _ := replayDB(t, 4)
+		st := Replay(img[:cut], db)
+		wantApplied := 0
+		if cut >= whole {
+			wantApplied = 1
+		}
+		if cut == len(img) {
+			wantApplied = 2
+		}
+		if st.Applied != wantApplied {
+			t.Fatalf("cut %d: applied %d, want %d", cut, st.Applied, wantApplied)
+		}
+		wantTorn := cut != whole && cut != len(img) && cut != 0
+		if st.Torn != wantTorn {
+			t.Fatalf("cut %d: torn=%v want %v", cut, st.Torn, wantTorn)
+		}
+	}
+}
+
+// End-to-end: log through appenders, crash at the synced boundary, replay.
+func TestReplayFromDeviceImage(t *testing.T) {
+	dev := NewMemDevice()
+	l := NewLog(dev, Group(8, 100*time.Microsecond))
+	live, tbl := replayDB(t, 64)
+	a := l.NewAppender(nil)
+	for i := uint64(0); i < 64; i++ {
+		rec := live.Table(tbl).Get(i)
+		storage.PutU64(rec, 0, i*3)
+		a.Note(tbl, i, rec)
+		a.Commit(nil)
+	}
+	l.Drain()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, tbl2 := replayDB(t, 64)
+	st := Replay(dev.SyncedContents(), rebuilt)
+	if st.Applied != 64 || st.Torn {
+		t.Fatalf("stats = %+v", st)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if got := storage.GetU64(rebuilt.Table(tbl2).Get(i), 0); got != i*3 {
+			t.Fatalf("key %d = %d, want %d", i, got, i*3)
+		}
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/tpcc"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -87,6 +88,60 @@ var (
 	AddU64 = storage.AddU64
 	AddI64 = storage.AddI64
 )
+
+// --- durability -------------------------------------------------------------
+
+// WAL is the redo-only write-ahead log every engine can commit through:
+// per-execution-thread append buffers, a group-commit flusher, and
+// acknowledgment in LSN order. Attach one to an engine config's Wal
+// field; see internal/wal for the protocol and README.md "Durability and
+// group commit".
+type WAL = wal.Log
+
+// WALDevice is the append-only byte sink a WAL writes to.
+type WALDevice = wal.Device
+
+// WALMemDevice is the in-memory device used by tests, benchmarks and
+// crash simulation (Contents/SyncedContents expose the crash images).
+type WALMemDevice = wal.MemDevice
+
+// SyncPolicy is a WAL's durability discipline; build one with WALOff,
+// WALAsync or WALGroup.
+type SyncPolicy = wal.SyncPolicy
+
+// WALStats counts the flusher's work: records vs flush batches is the
+// achieved group-commit amortization.
+type WALStats = wal.Stats
+
+// WALReplayStats reports what a crash-recovery replay found and applied.
+type WALReplayStats = wal.ReplayStats
+
+// NewWAL opens a log over dev and starts its group-commit flusher. A nil
+// *WAL (or one opened with WALOff) is inert and costs engines nothing.
+func NewWAL(dev WALDevice, policy SyncPolicy) *WAL { return wal.NewLog(dev, policy) }
+
+// NewWALMemDevice returns an empty in-memory log device.
+func NewWALMemDevice() *WALMemDevice { return wal.NewMemDevice() }
+
+// OpenWALFileDevice opens (creating if absent) an fsync'd log file.
+func OpenWALFileDevice(path string) (WALDevice, error) { return wal.OpenFileDevice(path) }
+
+// WALOff disables durability (the paper's instant acknowledgment).
+func WALOff() SyncPolicy { return wal.Off() }
+
+// WALAsync appends and flushes in the background but acknowledges at
+// pre-commit (synchronous_commit=off semantics).
+func WALAsync() SyncPolicy { return wal.Async() }
+
+// WALGroup acknowledges after the redo record is synced, syncing when k
+// commits are pending or after interval (zeros mean package defaults).
+func WALGroup(k int, interval time.Duration) SyncPolicy { return wal.Group(k, interval) }
+
+// ReplayWAL rebuilds committed state from a (possibly torn) log image
+// onto db, which must hold the run's initial contents: it applies the
+// longest contiguous LSN prefix — exactly the set of transactions whose
+// acknowledgment could have fired before the crash.
+func ReplayWAL(data []byte, db *DB) WALReplayStats { return wal.Replay(data, db) }
 
 // --- transactions -----------------------------------------------------------
 
@@ -169,6 +224,10 @@ type OpenLoopResult = engine.OpenLoopResult
 // Result is a timed run's outcome; Result.Throughput() is committed
 // transactions per second.
 type Result = metrics.Result
+
+// Totals is the aggregate counter/time-breakdown block inside a Result
+// (execute/lock/wait plus the durability flush-stall Log component).
+type Totals = metrics.Totals
 
 // Histogram is the log₂-bucketed latency histogram used throughout.
 type Histogram = metrics.Histogram

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -154,6 +155,164 @@ func TestOpenLoopDriver(t *testing.T) {
 	// but catch a generator that ignores the rate entirely.
 	if res.Submitted < 100 || res.Submitted > 900 {
 		t.Fatalf("submitted %d, want ≈300 for 2000/s over 150ms", res.Submitted)
+	}
+}
+
+// delayRuntime is a stub engine whose transactions "commit" a fixed delay
+// after submission — a deterministic model of an abort/retry chain (or any
+// other in-engine stall). It lets the open-loop latency contract be
+// asserted numerically: latency is measured from scheduled arrival to the
+// *final* commit, so the whole delay must appear in every sample.
+type delayRuntime struct {
+	delay   time.Duration
+	mu      sync.Mutex
+	pending sync.WaitGroup
+	closed  bool
+	commits uint64
+	latency repro.Histogram
+	started time.Time
+}
+
+func (d *delayRuntime) Name() string { return "delay-stub" }
+func (d *delayRuntime) Clients() int { return 8 }
+func (d *delayRuntime) Start() repro.Session {
+	d.started = time.Now()
+	return d
+}
+
+func (d *delayRuntime) Submit(t *repro.Txn, done func(bool)) {
+	d.pending.Add(1)
+	start := time.Now()
+	time.AfterFunc(d.delay, func() {
+		d.mu.Lock()
+		d.commits++
+		d.latency.Record(time.Since(start))
+		d.mu.Unlock()
+		if done != nil {
+			done(true)
+		}
+		d.pending.Done()
+	})
+}
+
+func (d *delayRuntime) Drain() { d.pending.Wait() }
+func (d *delayRuntime) Close() repro.Result {
+	d.pending.Wait()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return repro.Result{System: d.Name(),
+		Totals:   repro.Totals{Committed: d.commits, Latency: d.latency},
+		Duration: time.Since(d.started)}
+}
+
+// Open-loop latency must span scheduled arrival → final commit: a stub
+// whose every transaction takes a known delay to commit must show that
+// delay in every percentile, and the sample count must equal submissions.
+func TestOpenLoopLatencySpansRetryDelay(t *testing.T) {
+	const delay = 5 * time.Millisecond
+	rt := &delayRuntime{delay: delay}
+	res := repro.RunOpenLoop(rt, &repro.Transfer{NumRecords: 64}, 500, 100*time.Millisecond)
+	if res.Submitted == 0 {
+		t.Fatal("no arrivals")
+	}
+	if res.Latency.Count() != res.Submitted {
+		t.Fatalf("latency samples %d != submitted %d", res.Latency.Count(), res.Submitted)
+	}
+	// The histogram is log₂-bucketed: Percentile reports a bucket upper
+	// edge, so compare against the exact per-sample floor via the mean.
+	if got := res.Latency.Mean(); got < delay {
+		t.Fatalf("mean open-loop latency %v < engine delay %v — retry time not charged", got, delay)
+	}
+	if p50 := res.Latency.Percentile(50); p50 < delay {
+		t.Fatalf("p50 %v < engine delay %v", p50, delay)
+	}
+}
+
+// yieldingTransfers generates transfers over two hot records that yield
+// the scheduler between their two writes. Holding a lock across a yield
+// forces conflicting holders to coexist even on a single-CPU machine,
+// where microsecond transactions are otherwise never preempted mid-lock —
+// making wait-die aborts deterministic instead of preemption-luck.
+type yieldingTransfers struct{ tbl int }
+
+func (s yieldingTransfers) Next(_ int, rng *rand.Rand) *repro.Txn {
+	a := uint64(rng.Intn(2))
+	b := 1 - a
+	tx := &repro.Txn{Ops: []repro.Op{
+		{Table: s.tbl, Key: a, Mode: repro.Write},
+		{Table: s.tbl, Key: b, Mode: repro.Write},
+	}}
+	tx.Logic = func(ctx repro.Ctx) error {
+		src, err := ctx.Write(s.tbl, a)
+		if err != nil {
+			return err
+		}
+		runtime.Gosched() // conflict window: lock on a held across a yield
+		dst, err := ctx.Write(s.tbl, b)
+		if err != nil {
+			return err
+		}
+		repro.AddI64(src, 0, -1)
+		repro.AddI64(dst, 0, 1)
+		return nil
+	}
+	return tx
+}
+
+// Open-loop accounting under real aborts and retries: a hot-set transfer
+// workload on wait-die 2PL aborts constantly, yet every submission must
+// contribute exactly one latency sample (measured to its final commit)
+// and conservation must hold under the arrival process.
+func TestOpenLoopLatencyUnderAbortsAndRetries(t *testing.T) {
+	db, tbl := newAccountDB(t, 64, 1000)
+	eng := repro.NewTwoPL(repro.TwoPLConfig{DB: db, Handler: repro.WaitDie(), Threads: 4})
+	src := yieldingTransfers{tbl: tbl}
+	res := repro.RunOpenLoop(eng, src, 30000, 150*time.Millisecond)
+	if res.Submitted == 0 {
+		t.Fatal("no arrivals")
+	}
+	if res.Totals.Aborted == 0 {
+		t.Fatal("hot-set workload produced no aborts — the retry path is untested")
+	}
+	if res.Totals.Committed != res.Submitted {
+		t.Fatalf("committed %d != submitted %d (a retry chain was dropped)", res.Totals.Committed, res.Submitted)
+	}
+	if res.Latency.Count() != res.Submitted {
+		t.Fatalf("latency samples %d != submitted %d", res.Latency.Count(), res.Submitted)
+	}
+	if got := sumBalances(db, tbl, 64); got != 64*1000 {
+		t.Fatalf("sum = %d, want %d", got, 64*1000)
+	}
+}
+
+// With a group-commit WAL, open-loop latency must include the flush
+// wait: under a pure-interval policy every acknowledgment stalls for a
+// share of the flush cadence, which has to surface both in the
+// driver-side histogram and in the engine's Log time component.
+func TestOpenLoopLatencyIncludesFlushWait(t *testing.T) {
+	const interval = 4 * time.Millisecond
+	db, tbl := newAccountDB(t, 1024, 1000)
+	log := repro.NewWAL(repro.NewWALMemDevice(), repro.WALGroup(1<<20, interval))
+	defer log.Close()
+	eng := repro.NewOrthrus(repro.OrthrusConfig{DB: db, CCThreads: 2, ExecThreads: 2, Wal: log})
+	src := &repro.Transfer{Table: tbl, NumRecords: 1024}
+	res := repro.RunOpenLoop(eng, src, 1000, 120*time.Millisecond)
+	if res.Submitted == 0 {
+		t.Fatal("no arrivals")
+	}
+	if res.Latency.Count() != res.Submitted {
+		t.Fatalf("latency samples %d != submitted %d", res.Latency.Count(), res.Submitted)
+	}
+	// Acks fire once per interval, so the average commit stalls roughly
+	// interval/2; demand a conservative quarter to stay robust on slow CI.
+	if p50 := res.Latency.Percentile(50); p50 < interval/4 {
+		t.Fatalf("p50 %v does not include the flush wait (interval %v)", p50, interval)
+	}
+	if res.Totals.Log <= 0 {
+		t.Fatal("no Log time accounted despite a group-commit WAL")
+	}
+	if res.Totals.Latency.Mean() < interval/4 {
+		t.Fatalf("service latency %v excludes flush wait", res.Totals.Latency.Mean())
 	}
 }
 
