@@ -479,3 +479,38 @@ func BenchmarkLatency(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkScanMix: the range-scan extension's headline — a YCSB-E mix
+// (20% scans, max length 64) on all four engines, so the per-design cost
+// of phantom-safe scans (lazy stripe+record locks vs up-front declaration
+// vs partition footprint) is pinned as a benchmark.
+func BenchmarkScanMix(b *testing.B) {
+	systems := []struct {
+		name  string
+		build func(db *DB) Engine
+	}{
+		{"orthrus", func(db *DB) Engine {
+			return NewOrthrus(OrthrusConfig{DB: db, CCThreads: 2, ExecThreads: 6})
+		}},
+		{"dlfree", func(db *DB) Engine {
+			return NewDeadlockFree(DeadlockFreeConfig{DB: db, Threads: 8})
+		}},
+		{"2pl-waitdie", func(db *DB) Engine {
+			return NewTwoPL(TwoPLConfig{DB: db, Handler: WaitDie(), Threads: 8})
+		}},
+		{"partstore", func(db *DB) Engine {
+			return NewPartitionedStore(PartitionedStoreConfig{DB: db, Partitions: 8})
+		}},
+	}
+	for _, sys := range systems {
+		b.Run(sys.name, func(b *testing.B) {
+			db, tbl := newBenchDB()
+			src := &YCSB{Table: tbl, NumRecords: benchRecords, OpsPerTxn: 10,
+				ScanPct: 20, MaxScanLen: 64}
+			if err := src.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			reportRun(b, sys.build(db), src)
+		})
+	}
+}

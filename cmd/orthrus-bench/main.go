@@ -14,9 +14,11 @@
 // experiment reports commit latency under offered load, the batching
 // experiment reports message-plane ring operations and throughput per
 // BatchSize, the adaptive experiment compares static vs elastic CC
-// routing across a mid-run hot-set shift, and the durability experiment
+// routing across a mid-run hot-set shift, the durability experiment
 // sweeps WAL sync policy and group-commit size against the no-WAL
-// baseline. With -json <dir>, each experiment's series is also written
+// baseline, and the scan experiment sweeps a YCSB-E scan mix (scan
+// fraction × max scan length, pinnable with -scan-pct/-scan-maxlen)
+// across all four engines. With -json <dir>, each experiment's series is also written
 // as JSON rows (one object per line) to <dir>/BENCH_<id>.json for
 // mechanical tracking across checkouts.
 package main
@@ -40,6 +42,8 @@ func main() {
 		threads    = flag.Int("threads", 80, "cap on the thread-count axes (paper machine: 80 cores)")
 		items      = flag.Int("tpcc-items", 1000, "TPC-C items per warehouse (spec: 100,000)")
 		custs      = flag.Int("tpcc-customers", 100, "TPC-C customers per district (spec: 3,000)")
+		scanPct    = flag.Int("scan-pct", 0, "scan experiment: pin the scan fraction (percent; 0 sweeps, out-of-range panics)")
+		scanLen    = flag.Int("scan-maxlen", 0, "scan experiment: pin the max scan length (0 sweeps, out-of-range panics)")
 		jsonDir    = flag.String("json", "", "also write each experiment's series as JSON rows to <dir>/BENCH_<id>.json")
 	)
 	flag.Parse()
@@ -63,6 +67,8 @@ func main() {
 		MaxThreads:    *threads,
 		TPCCItems:     *items,
 		TPCCCustomers: *custs,
+		ScanPct:       *scanPct,
+		ScanMaxLen:    *scanLen,
 		Out:           os.Stdout,
 	}.Defaults()
 

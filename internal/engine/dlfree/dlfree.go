@@ -85,7 +85,7 @@ func (e *Engine) Start() engine.Session {
 				eng:    e,
 				thread: thread,
 				ids:    engine.NewIDSource(thread),
-				ctx:    engine.PlannedCtx{DB: e.cfg.DB},
+				ctx:    engine.PlannedCtx{DB: e.cfg.DB, Stats: stats},
 				held:   make([]*lock.Request, 0, 32),
 			}
 			if e.cfg.Wal.Enabled() {
@@ -116,6 +116,14 @@ func (w *dlfreeWorker) execute(t *txn.Txn, comp *engine.Completion) {
 	stats := comp.Stats()
 	t.ID = w.ids.Next()
 	for {
+		// Declared ranges become stripe (gap) locks, acquired in the same
+		// global (table, key) order as every other lock: stripe keys carry
+		// bit 63, so within a table they sort after all record keys, and
+		// the total order — hence the deadlock-freedom argument — is
+		// unchanged. A concurrent insert into a scanned range needs the
+		// same stripe in Write mode, so phantoms are excluded for exactly
+		// the duration the scan's locks are held.
+		engine.MaterializeRanges(e.cfg.DB, t)
 		t.SortOps()
 
 		// Phase 1: acquire every declared lock in global key order.

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/storage"
+	"repro/internal/txn"
 	"repro/internal/workload"
 )
 
@@ -161,4 +162,25 @@ func (u *UndoLog) Len() int { return len(u.recs) }
 // simply overwrites its earlier insert.
 func Insert(db *storage.DB, table int, key uint64, value []byte) error {
 	return db.Table(table).Insert(key, value)
+}
+
+// MaterializeRanges expands a transaction's declared ranges into the
+// stripe (gap) lock Ops that protect them, appending to t.Ops. Planned
+// engines call it before SortOps on every (re)plan: scan ranges add
+// stripe locks in the range's mode (Read blocks inserts into the scanned
+// interval), insert ranges add Write stripe locks (fencing the keys the
+// plan expects to create against concurrent scans). Only scan-protected
+// tables take stripe locks — fixed tables cannot grow phantoms. The
+// append may duplicate stripes across overlapping ranges or repeated
+// calls; SortOps dedupes, widening Read to Write where both appear.
+func MaterializeRanges(db *storage.DB, t *txn.Txn) {
+	for _, r := range t.Ranges {
+		if r.Empty() || !db.Table(r.Table).ScanProtected() {
+			continue
+		}
+		first, last := txn.StripeSpan(r.Lo, r.Hi)
+		for s := first; s <= last; s++ {
+			t.Ops = append(t.Ops, txn.Op{Table: r.Table, Key: s, Mode: r.Mode})
+		}
+	}
 }

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+func scanTestDB(t *testing.T) (*storage.DB, int, int) {
+	t.Helper()
+	db := storage.NewDB()
+	ord := db.Create(storage.Layout{Name: "ordered", NumRecords: 0, RecordSize: 8, Growable: true, Ordered: true})
+	fix := db.Create(storage.Layout{Name: "fixed", NumRecords: 128, RecordSize: 8})
+	for k := uint64(0); k < 100; k += 10 {
+		var v [8]byte
+		storage.PutU64(v[:], 0, k)
+		if err := db.Table(ord).Insert(k, v[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, ord, fix
+}
+
+// MaterializeRanges expands declared ranges into stripe ops on
+// scan-protected tables only, in the range's mode.
+func TestMaterializeRanges(t *testing.T) {
+	db, ord, fix := scanTestDB(t)
+	tx := &txn.Txn{Ranges: []txn.RangeOp{
+		{Table: ord, Lo: 0, Hi: 100, Mode: txn.Read},
+		{Table: ord, Lo: 5, Hi: 6, Mode: txn.Write},
+		{Table: fix, Lo: 0, Hi: 100, Mode: txn.Read}, // fixed: no stripes
+		{Table: ord, Lo: 9, Hi: 9, Mode: txn.Write},  // empty: nothing
+	}}
+	MaterializeRanges(db, tx)
+	first, last := txn.StripeSpan(0, 100)
+	wantStripes := int(last-first) + 1
+	if len(tx.Ops) != wantStripes+1 {
+		t.Fatalf("ops = %v (want %d read stripes + 1 write stripe)", tx.Ops, wantStripes)
+	}
+	tx.SortOps()
+	// The write stripe for key 5 overlaps the read range's first stripe:
+	// dedupe must widen it to Write.
+	if !tx.Declared(ord, txn.StripeKey(5), txn.Write) {
+		t.Fatal("write stripe lost in dedupe")
+	}
+	if !tx.Declared(ord, txn.StripeKey(99), txn.Read) {
+		t.Fatal("read stripe missing")
+	}
+	for _, op := range tx.Ops {
+		if op.Table == fix {
+			t.Fatal("fixed table got stripe ops")
+		}
+	}
+}
+
+// PlannedCtx.Scan enforces the OLLP discipline: the range and every
+// yielded record must be declared; anything else is an estimate miss.
+func TestPlannedCtxScan(t *testing.T) {
+	db, ord, _ := scanTestDB(t)
+	tx := &txn.Txn{Ranges: []txn.RangeOp{{Table: ord, Lo: 0, Hi: 50, Mode: txn.Read}}}
+	for k := uint64(0); k < 50; k += 10 {
+		tx.Ops = append(tx.Ops, txn.Op{Table: ord, Key: k, Mode: txn.Read})
+	}
+	MaterializeRanges(db, tx)
+	tx.SortOps()
+	ctx := &PlannedCtx{DB: db}
+	ctx.Begin(tx)
+
+	var got []uint64
+	if err := ctx.Scan(ord, 0, 50, func(key uint64, rec []byte) error {
+		if storage.GetU64(rec, 0) != key {
+			t.Fatalf("payload mismatch at %d", key)
+		}
+		got = append(got, key)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0] != 0 || got[4] != 40 {
+		t.Fatalf("scan = %v", got)
+	}
+
+	// Undeclared range: miss.
+	if err := ctx.Scan(ord, 0, 60, func(uint64, []byte) error { return nil }); err != txn.ErrEstimateMiss {
+		t.Fatalf("undeclared range: err = %v", err)
+	}
+
+	// A record the plan did not see (insert raced reconnaissance): miss.
+	var v [8]byte
+	storage.PutU64(v[:], 0, 25)
+	if err := db.Table(ord).Insert(25, v[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Scan(ord, 0, 50, func(uint64, []byte) error { return nil }); err != txn.ErrEstimateMiss {
+		t.Fatalf("undeclared record: err = %v", err)
+	}
+
+	// fn errors propagate.
+	boom := errors.New("boom")
+	if err := ctx.Scan(ord, 0, 20, func(uint64, []byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("fn error: %v", err)
+	}
+}
+
+// PlannedCtx.Insert on a scan-protected table requires the key's stripe
+// declared in Write mode.
+func TestPlannedCtxInsertStripeFence(t *testing.T) {
+	db, ord, _ := scanTestDB(t)
+	var v [8]byte
+
+	tx := &txn.Txn{Ranges: []txn.RangeOp{{Table: ord, Lo: 200, Hi: 201, Mode: txn.Write}}}
+	MaterializeRanges(db, tx)
+	tx.SortOps()
+	ctx := &PlannedCtx{DB: db}
+	ctx.Begin(tx)
+	if err := ctx.Insert(ord, 200, v[:]); err != nil {
+		t.Fatalf("declared insert: %v", err)
+	}
+	// 201 shares 200's stripe — covered. A key in a different stripe is
+	// outside the fence: estimate miss.
+	far := uint64(200 + 2*txn.StripeSize)
+	if err := ctx.Insert(ord, far, v[:]); err != txn.ErrEstimateMiss {
+		t.Fatalf("undeclared insert: err = %v", err)
+	}
+	// A Read-mode range does not license inserts.
+	tx2 := &txn.Txn{Ranges: []txn.RangeOp{{Table: ord, Lo: 300, Hi: 301, Mode: txn.Read}}}
+	MaterializeRanges(db, tx2)
+	tx2.SortOps()
+	ctx.Begin(tx2)
+	if err := ctx.Insert(ord, 300, v[:]); err != txn.ErrEstimateMiss {
+		t.Fatalf("read-range insert: err = %v", err)
+	}
+}

@@ -80,7 +80,7 @@ func (e *Engine) Start() engine.Session {
 	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
 		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn, *engine.Completion) {
 			ids := engine.NewIDSource(thread)
-			ctx := &execCtx{eng: e, thread: thread}
+			ctx := &execCtx{eng: e, thread: thread, stats: stats}
 			if e.cfg.Wal.Enabled() {
 				ctx.wal = e.cfg.Wal.NewAppender(stats)
 			}
@@ -147,6 +147,7 @@ type execCtx struct {
 	eng    *Engine
 	thread int
 	wal    *wal.Appender
+	stats  *metrics.ThreadStats
 
 	t      *txn.Txn
 	held   []*lock.Request
@@ -200,11 +201,17 @@ func (c *execCtx) Read(table int, key uint64) ([]byte, error) {
 	return c.acquire(table, key, txn.Read)
 }
 
-// Write implements txn.Ctx.
+// Write implements txn.Ctx. A missing record (possible only on growable
+// tables, e.g. Delivery write-locking an order a raced NewOrder has not
+// published) yields rec nil with the lock held; nothing is noted for
+// redo — there is no after-image to replay.
 func (c *execCtx) Write(table int, key uint64) ([]byte, error) {
 	rec, err := c.acquire(table, key, txn.Write)
 	if err != nil {
 		return nil, err
+	}
+	if rec == nil {
+		return nil, nil
 	}
 	c.undo.Record(rec)
 	if c.wal != nil {
@@ -213,8 +220,16 @@ func (c *execCtx) Write(table int, key uint64) ([]byte, error) {
 	return rec, nil
 }
 
-// Insert implements txn.Ctx.
+// Insert implements txn.Ctx. On a scan-protected table the key's stripe
+// lock is acquired in Write mode first — the dynamic-2PL form of next-key
+// locking: the insert conflicts with any concurrent scan whose range
+// covers the key, and the stripe is held to commit like every other lock.
 func (c *execCtx) Insert(table int, key uint64, value []byte) error {
+	if c.eng.cfg.DB.Table(table).ScanProtected() {
+		if _, err := c.acquire(table, txn.StripeKey(key), txn.Write); err != nil {
+			return err
+		}
+	}
 	if err := engine.Insert(c.eng.cfg.DB, table, key, value); err != nil {
 		return err
 	}
@@ -222,6 +237,37 @@ func (c *execCtx) Insert(table int, key uint64, value []byte) error {
 		c.wal.Note(table, key, c.eng.cfg.DB.Table(table).Get(key))
 	}
 	return nil
+}
+
+// Scan implements txn.Ctx: the dynamic-2PL scan locks lazily, like every
+// other access. On a scan-protected table it first read-locks each stripe
+// covering [lo, hi) — freezing the range's key population against
+// inserts — then walks the ordered storage, read-locking each record
+// before yielding it. Records scanned in Read mode cannot later be
+// written by the same transaction (the upgrade guard in acquire).
+func (c *execCtx) Scan(table int, lo, hi uint64, fn func(key uint64, rec []byte) error) error {
+	if hi <= lo {
+		return nil
+	}
+	tbl := c.eng.cfg.DB.Table(table)
+	if tbl.ScanProtected() {
+		first, last := txn.StripeSpan(lo, hi)
+		for s := first; s <= last; s++ {
+			if _, err := c.acquire(table, s, txn.Read); err != nil {
+				return err
+			}
+		}
+	}
+	var err error
+	tbl.Scan(lo, hi, func(key uint64, rec []byte) bool {
+		if _, err = c.acquire(table, key, txn.Read); err != nil {
+			return false
+		}
+		c.stats.Scanned++
+		err = fn(key, rec)
+		return err == nil
+	})
+	return err
 }
 
 func (c *execCtx) releaseAll() {

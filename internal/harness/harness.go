@@ -36,6 +36,11 @@ type Config struct {
 	// TPCCItems / TPCCCustomers scale TPC-C (see internal/tpcc docs).
 	TPCCItems     int
 	TPCCCustomers int
+	// ScanPct / ScanMaxLen pin the scan experiment to a single scan
+	// fraction (percent) / scan-length bound instead of its default
+	// sweep. Zero means sweep; out-of-range values panic in Defaults.
+	ScanPct    int
+	ScanMaxLen int
 	// Out receives the printed tables.
 	Out io.Writer
 
@@ -69,6 +74,12 @@ func (c Config) Defaults() Config {
 	}
 	if c.TPCCCustomers == 0 {
 		c.TPCCCustomers = 100
+	}
+	if c.ScanPct < 0 || c.ScanPct > 100 {
+		panic(fmt.Sprintf("harness: ScanPct %d out of range [0, 100] (0 means sweep)", c.ScanPct))
+	}
+	if c.ScanMaxLen < 0 || uint64(c.ScanMaxLen) > c.Records {
+		panic(fmt.Sprintf("harness: ScanMaxLen %d out of range [0, Records=%d] (0 means sweep)", c.ScanMaxLen, c.Records))
 	}
 	if c.Out == nil {
 		panic("harness: Config.Out must be set")
@@ -104,6 +115,7 @@ func Registry() []Experiment {
 		{"batching", "Extension", "message-plane ring operations and throughput vs BatchSize", batching},
 		{"adaptive", "Extension", "elastic vs static CC routing across a mid-run hot-set shift", adaptive},
 		{"durability", "Extension", "throughput/latency vs WAL sync policy and group-commit size", durability},
+		{"scan", "Extension", "phantom-safe range-scan throughput/p99 vs scan fraction and length", scanExp},
 	}
 }
 

@@ -28,6 +28,7 @@ type ThreadStats struct {
 	Committed uint64
 	Aborted   uint64 // deadlock-handler aborts (each is later retried)
 	Misses    uint64 // OLLP estimate misses (subset of restarts)
+	Scanned   uint64 // rows delivered through Ctx.Scan (committed or not)
 
 	ExecNanos int64
 	LockNanos int64
@@ -81,6 +82,7 @@ func (s *Set) Totals() Totals {
 		t.Committed += th.Committed
 		t.Aborted += th.Aborted
 		t.Misses += th.Misses
+		t.Scanned += th.Scanned
 		t.Exec += time.Duration(th.ExecNanos)
 		t.Lock += time.Duration(th.LockNanos)
 		t.Wait += time.Duration(th.WaitNanos)
@@ -95,6 +97,7 @@ type Totals struct {
 	Committed uint64
 	Aborted   uint64
 	Misses    uint64
+	Scanned   uint64
 	Exec      time.Duration
 	Lock      time.Duration
 	Wait      time.Duration

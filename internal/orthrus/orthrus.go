@@ -694,7 +694,7 @@ func newExecThread(ses *session, id int, stats *metrics.ThreadStats) *execThread
 		id:        id,
 		stats:     stats,
 		ids:       engine.NewIDSource(id),
-		ctx:       engine.PlannedCtx{DB: cfg.DB},
+		ctx:       engine.PlannedCtx{DB: cfg.DB, Stats: stats},
 		window:    cfg.Inflight,
 		lastEpoch: ses.s.rt.Load().epoch,
 		batch:     cfg.BatchSize,
@@ -820,6 +820,14 @@ func (x *execThread) drainGrants() bool {
 // migration drain barrier can never miss a chain that goes on to acquire
 // locks under a superseded epoch.
 func (x *execThread) submit(t *txn.Txn, done func(bool), start time.Time) {
+	// Declared ranges decompose into stripe (gap) lock ops here, before
+	// sorting: each stripe routes through the same two-level record →
+	// logical partition → CC thread mapping as a record lock, so a range
+	// becomes per-logical-partition interval requests grouped into the
+	// chain's per-CC batches — phantom protection rides the existing
+	// message plane. Re-materializing on a replayed submission only adds
+	// duplicates SortOps removes.
+	engine.MaterializeRanges(x.s.cfg.DB, t)
 	t.SortOps()
 	w := &wrapper{t: t, owner: x.id, start: start, done: done}
 

@@ -56,7 +56,9 @@ func (ix *SecondaryIndex) Remove(secondary, primary uint64) {
 }
 
 // Lookup returns a copy of the posting list for secondary and the index
-// version at read time (for OLLP validation).
+// version at read time (for OLLP validation). The copy allocates on every
+// call; hot paths that only need to walk the list should use Each, and
+// TPC-C's by-last-name resolution uses Middle — both allocation-free.
 func (ix *SecondaryIndex) Lookup(secondary uint64) (primaries []uint64, version uint64) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -67,6 +69,24 @@ func (ix *SecondaryIndex) Lookup(secondary uint64) (primaries []uint64, version 
 	out := make([]uint64, len(list))
 	copy(out, list)
 	return out, ix.version
+}
+
+// Each invokes fn for each primary key in secondary's posting list, in
+// ascending order, stopping early when fn returns false, and returns the
+// index version at read time. Unlike Lookup it performs no allocation —
+// the iteration runs under the read latch against the live list — so it
+// is the accessor for hot paths (TPC-C consistency sweeps, posting-list
+// aggregation) that would otherwise copy the list on every call. fn must
+// not call back into the index (the latch is held).
+func (ix *SecondaryIndex) Each(secondary uint64, fn func(primary uint64) bool) (version uint64) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for _, p := range ix.entries[secondary] {
+		if !fn(p) {
+			break
+		}
+	}
+	return ix.version
 }
 
 // Middle returns the middle element of secondary's posting list — TPC-C's

@@ -15,9 +15,16 @@
 //
 //   - GrowTable: a sharded hash table supporting inserts, used for the
 //     TPC-C tables that grow during the run (ORDER, NEW-ORDER, ORDER-LINE,
-//     HISTORY). Inserts are not subject to logical locking, matching the
-//     paper's prototype scope (no phantom protection; the evaluation's
-//     contention is entirely on updates to existing rows).
+//     HISTORY). A growable table created with Layout.Ordered additionally
+//     maintains a sorted key list and a gap-version counter per shard, so
+//     range scans iterate in ascending key order and every insert of a
+//     new key bumps a version a reconnaissance reader can validate
+//     against. Ordered tables are scan-protected: engines guard inserts
+//     with stripe (gap) locks so a concurrent range scan cannot observe a
+//     phantom — this retires the original prototype scope restriction
+//     (the paper excludes phantom protection; see README.md "Range scans
+//     and phantom protection"). Unordered growable tables (HISTORY) keep
+//     the cheaper insert path and cannot be scanned.
 //
 // Record payloads are raw byte slices. Fixed-width integer fields inside a
 // record are read and written with the binary helpers below; every engine
@@ -29,6 +36,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -39,6 +47,11 @@ type Layout struct {
 	NumRecords uint64 // FixedTable capacity (rows 0..NumRecords-1)
 	RecordSize int    // payload bytes per record
 	Growable   bool   // true → GrowTable (insert-heavy TPC-C tables)
+	// Ordered makes a growable table scannable and scan-protected: each
+	// shard keeps its keys sorted and a gap-version counter bumped on
+	// every new-key insert. Ignored for fixed tables (dense row spaces
+	// are ordered by construction).
+	Ordered bool
 }
 
 // Table is the access interface shared by both layouts.
@@ -57,6 +70,22 @@ type Table interface {
 	Len() uint64
 	// RecordSize returns the fixed payload size.
 	RecordSize() int
+	// Scan invokes fn for each present record with key in the half-open
+	// range [lo, hi), in ascending key order, stopping early when fn
+	// returns false. No internal lock is held while fn runs, so fn may
+	// block (e.g. on a record lock). Panics on an unordered growable
+	// table — those cannot be iterated in key order.
+	Scan(lo, hi uint64, fn func(key uint64, rec []byte) bool)
+	// ScanProtected reports whether inserts can add new keys at run time,
+	// i.e. whether range scans over this table need gap (stripe) locking
+	// against phantoms. True only for ordered growable tables.
+	ScanProtected() bool
+	// RangeVersion folds the gap-version counters that could cover keys
+	// in [lo, hi) into one value: if it is unchanged between two reads,
+	// no insert added a key that could have landed in the range. It is
+	// conservative — inserts outside the range may also change it — and
+	// constant 0 for tables whose key population cannot change.
+	RangeVersion(lo, hi uint64) uint64
 }
 
 // FixedTable is a dense arena of NumRecords fixed-size records.
@@ -117,18 +146,48 @@ func (t *FixedTable) Len() uint64 { return t.n }
 // RecordSize implements Table.
 func (t *FixedTable) RecordSize() int { return t.recSize }
 
+// Scan implements Table: a dense row space is ordered by construction,
+// so the iteration is a straight walk over the arena.
+func (t *FixedTable) Scan(lo, hi uint64, fn func(key uint64, rec []byte) bool) {
+	if hi > t.n {
+		hi = t.n
+	}
+	for key := lo; key < hi; key++ {
+		if !fn(key, t.Get(key)) {
+			return
+		}
+	}
+}
+
+// ScanProtected implements Table: a fixed table's key population never
+// changes, so scans cannot observe phantoms.
+func (t *FixedTable) ScanProtected() bool { return false }
+
+// RangeVersion implements Table.
+func (t *FixedTable) RangeVersion(lo, hi uint64) uint64 { return 0 }
+
 // growShards is the shard count for GrowTable. Power of two.
 const growShards = 64
 
 type growShard struct {
 	mu sync.Mutex
 	m  map[uint64][]byte
+	// keys is the shard's sorted key list and version its gap counter,
+	// maintained only for ordered tables: version increments on every
+	// insert that adds a new key (overwrites leave it alone — they cannot
+	// create phantoms). The counter is written under the shard mutex —
+	// keeping insert-side bumps local to the shard's cache line instead
+	// of contending a table-global word — but read with atomic loads so
+	// RangeVersion's fold over all shards never takes a latch.
+	keys    []uint64
+	version atomic.Uint64
 }
 
 // GrowTable is a sharded hash table for insert-heavy tables.
 type GrowTable struct {
 	name    string
 	recSize int
+	ordered bool
 	shards  [growShards]growShard
 	pool    *Pool
 }
@@ -140,6 +199,15 @@ func NewGrowTable(name string, recordSize int, sizeHint uint64) *GrowTable {
 	for i := range t.shards {
 		t.shards[i].m = make(map[uint64][]byte, per)
 	}
+	return t
+}
+
+// NewOrderedGrowTable returns an empty growable table that additionally
+// keeps per-shard sorted key lists and gap versions, making it scannable
+// in key order and scan-protected (engines stripe-lock its inserts).
+func NewOrderedGrowTable(name string, recordSize int, sizeHint uint64) *GrowTable {
+	t := NewGrowTable(name, recordSize, sizeHint)
+	t.ordered = true
 	return t
 }
 
@@ -161,14 +229,28 @@ func (t *GrowTable) Get(key uint64) []byte {
 }
 
 // Insert implements Table. The value is copied into pool-owned memory.
+// On an ordered table a new key is spliced into the shard's sorted key
+// list and bumps the shard's gap version; keys with bit 63 set are
+// rejected — that bit marks stripe lock keys (txn.StripeFlag), which must
+// never collide with record keys.
 func (t *GrowTable) Insert(key uint64, value []byte) error {
 	if len(value) > t.recSize {
 		return fmt.Errorf("storage: value size %d exceeds record size %d for table %s", len(value), t.recSize, t.name)
+	}
+	if t.ordered && key>>63 != 0 {
+		return fmt.Errorf("storage: key %d has bit 63 set (reserved for stripe locks) on ordered table %s", key, t.name)
 	}
 	buf := t.pool.Get()
 	copy(buf, value)
 	s := t.shard(key)
 	s.mu.Lock()
+	if _, exists := s.m[key]; !exists && t.ordered {
+		i := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= key })
+		s.keys = append(s.keys, 0)
+		copy(s.keys[i+1:], s.keys[i:])
+		s.keys[i] = key
+		s.version.Store(s.version.Load() + 1) // exclusive under s.mu
+	}
 	s.m[key] = buf
 	s.mu.Unlock()
 	return nil
@@ -188,6 +270,60 @@ func (t *GrowTable) Len() uint64 {
 
 // RecordSize implements Table.
 func (t *GrowTable) RecordSize() int { return t.recSize }
+
+// scanPair is one gathered (key, record) pair awaiting the merge sort.
+type scanPair struct {
+	key uint64
+	rec []byte
+}
+
+// Scan implements Table. Keys are hash-sharded, so an in-order iteration
+// first gathers the matching (key, record) pairs from every shard — each
+// under its own latch, record slices are stable pool memory — then sorts
+// and walks them with no lock held, so fn may block (on a record lock,
+// say) without stalling concurrent inserts to unrelated keys.
+func (t *GrowTable) Scan(lo, hi uint64, fn func(key uint64, rec []byte) bool) {
+	if !t.ordered {
+		panic("storage: Scan on unordered growable table " + t.name)
+	}
+	if hi <= lo {
+		return
+	}
+	var pairs []scanPair
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		j := sort.Search(len(s.keys), func(j int) bool { return s.keys[j] >= lo })
+		for ; j < len(s.keys) && s.keys[j] < hi; j++ {
+			pairs = append(pairs, scanPair{key: s.keys[j], rec: s.m[s.keys[j]]})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].key < pairs[b].key })
+	for _, p := range pairs {
+		if !fn(p.key, p.rec) {
+			return
+		}
+	}
+}
+
+// ScanProtected implements Table.
+func (t *GrowTable) ScanProtected() bool { return t.ordered }
+
+// RangeVersion implements Table. Hash sharding means any shard could hold
+// a key in [lo, hi), so the fold covers every shard — conservative by
+// design (see the interface comment). The fold is latch-free: 64 atomic
+// loads, no shard mutex traffic on the reconnaissance path.
+func (t *GrowTable) RangeVersion(lo, hi uint64) uint64 {
+	if !t.ordered {
+		return 0
+	}
+	var v uint64
+	for i := range t.shards {
+		v += t.shards[i].version.Load()
+	}
+	return v
+}
 
 // DB is a named collection of tables plus secondary indexes. The table
 // slice is copy-on-write behind an atomic pointer: Table sits on every
@@ -211,9 +347,12 @@ func NewDB() *DB {
 // Create builds a table from its layout and registers it, returning its id.
 func (db *DB) Create(l Layout) int {
 	var t Table
-	if l.Growable {
+	switch {
+	case l.Growable && l.Ordered:
+		t = NewOrderedGrowTable(l.Name, l.RecordSize, l.NumRecords)
+	case l.Growable:
 		t = NewGrowTable(l.Name, l.RecordSize, l.NumRecords)
-	} else {
+	default:
 		t = NewFixedTable(l.Name, l.NumRecords, l.RecordSize)
 	}
 	return db.Register(t)

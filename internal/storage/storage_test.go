@@ -354,3 +354,133 @@ func TestDBRegistryCopyOnWrite(t *testing.T) {
 		t.Fatalf("NumTables = %d, want 65", db.NumTables())
 	}
 }
+
+// --- ordered tables and range scans --------------------------------------
+
+func TestOrderedGrowTableScansInKeyOrder(t *testing.T) {
+	tbl := NewOrderedGrowTable("ord", 8, 0)
+	// Insert out of order, spread across hash shards.
+	keys := []uint64{500, 3, 77, 12, 9001, 64, 65, 4, 1000}
+	for _, k := range keys {
+		var v [8]byte
+		PutU64(v[:], 0, k)
+		if err := tbl.Insert(k, v[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	tbl.Scan(4, 1000, func(key uint64, rec []byte) bool {
+		if GetU64(rec, 0) != key {
+			t.Fatalf("record payload %d under key %d", GetU64(rec, 0), key)
+		}
+		got = append(got, key)
+		return true
+	})
+	want := []uint64{4, 12, 64, 65, 77, 500}
+	if len(got) != len(want) {
+		t.Fatalf("scan [4,1000) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan [4,1000) = %v, want %v (out of order)", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tbl.Scan(0, 10000, func(uint64, []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestOrderedGrowTableGapVersions(t *testing.T) {
+	tbl := NewOrderedGrowTable("ord", 8, 0)
+	v0 := tbl.RangeVersion(0, 100)
+	var buf [8]byte
+	if err := tbl.Insert(7, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	v1 := tbl.RangeVersion(0, 100)
+	if v1 == v0 {
+		t.Fatal("new-key insert did not bump the gap version")
+	}
+	// Overwriting an existing key cannot create a phantom: no bump.
+	if err := tbl.Insert(7, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.RangeVersion(0, 100); got != v1 {
+		t.Fatalf("overwrite bumped gap version %d -> %d", v1, got)
+	}
+	if !tbl.ScanProtected() {
+		t.Fatal("ordered grow table must be scan-protected")
+	}
+}
+
+func TestOrderedGrowTableRejectsStripeFlagKeys(t *testing.T) {
+	tbl := NewOrderedGrowTable("ord", 8, 0)
+	var buf [8]byte
+	if err := tbl.Insert(1<<63|5, buf[:]); err == nil {
+		t.Fatal("key with bit 63 set accepted on ordered table")
+	}
+}
+
+func TestUnorderedGrowTableScanPanics(t *testing.T) {
+	tbl := NewGrowTable("hist", 8, 0)
+	if tbl.ScanProtected() {
+		t.Fatal("unordered grow table claims scan protection")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scan on unordered grow table did not panic")
+		}
+	}()
+	tbl.Scan(0, 10, func(uint64, []byte) bool { return true })
+}
+
+func TestFixedTableScan(t *testing.T) {
+	tbl := NewFixedTable("f", 8, 8)
+	for k := uint64(0); k < 8; k++ {
+		PutU64(tbl.Get(k), 0, k*10)
+	}
+	var got []uint64
+	tbl.Scan(2, 100, func(key uint64, rec []byte) bool {
+		got = append(got, GetU64(rec, 0))
+		return true
+	})
+	if len(got) != 6 || got[0] != 20 || got[5] != 70 {
+		t.Fatalf("fixed scan = %v", got)
+	}
+	if tbl.ScanProtected() {
+		t.Fatal("fixed table claims scan protection")
+	}
+	if tbl.RangeVersion(0, 8) != 0 {
+		t.Fatal("fixed table gap version must be 0")
+	}
+}
+
+func TestSecondaryIndexEachIsAllocationFree(t *testing.T) {
+	ix := NewSecondaryIndex()
+	for i := uint64(0); i < 64; i++ {
+		ix.Add(9, i*3)
+	}
+	var sum uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		sum = 0
+		ix.Each(9, func(p uint64) bool { sum += p; return true })
+	})
+	if allocs != 0 {
+		t.Fatalf("Each allocates %.1f per call", allocs)
+	}
+	if want := uint64(63 * 64 / 2 * 3); sum != want {
+		t.Fatalf("Each sum = %d, want %d", sum, want)
+	}
+	// Early stop and version agreement with Lookup.
+	n := 0
+	v := ix.Each(9, func(uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	if _, lv := ix.Lookup(9); lv != v {
+		t.Fatalf("Each version %d != Lookup version %d", v, lv)
+	}
+}

@@ -123,8 +123,16 @@ func OKey(w, d int, o uint64) uint64 { return DKey(w, d)<<40 | o }
 func OLKey(w, d int, o uint64, ol int) uint64 { return OKey(w, d, o)<<4 | uint64(ol) }
 
 // WarehouseOf recovers the warehouse id from a (table, key) pair; it is
-// the basis of warehouse partitioning.
+// the basis of warehouse partitioning. Stripe (gap) lock keys resolve to
+// the warehouse of the records they cover, so a range's interval locks
+// route to the same partition as the range's rows — keeping phantom
+// protection co-located with the data under warehouse partitioning (a
+// stripe never spans warehouses: every per-warehouse key space is wider
+// than a stripe).
 func (s *Schema) WarehouseOf(table int, key uint64) int {
+	if key&txn.StripeFlag != 0 {
+		return s.WarehouseOf(table, (key&^txn.StripeFlag)<<txn.StripeShift)
+	}
 	switch table {
 	case s.Warehouse:
 		return int(key)
@@ -185,9 +193,16 @@ func Load(cfg Config) (*Schema, error) {
 	s.Customer = db.Create(storage.Layout{Name: "customer", NumRecords: d64 * uint64(s.CustomersPerDistrict), RecordSize: customerSize})
 	s.Stock = db.Create(storage.Layout{Name: "stock", NumRecords: w64 * uint64(s.Items), RecordSize: stockSize})
 	s.Item = db.Create(storage.Layout{Name: "item", NumRecords: uint64(s.Items), RecordSize: itemSize})
-	s.Order = db.Create(storage.Layout{Name: "order", NumRecords: 1 << 16, RecordSize: orderSize, Growable: true})
-	s.NewOrder = db.Create(storage.Layout{Name: "new_order", NumRecords: 1 << 16, RecordSize: newOrderSize, Growable: true})
-	s.OrderLine = db.Create(storage.Layout{Name: "order_line", NumRecords: 1 << 18, RecordSize: orderLineSize, Growable: true})
+	// Order/NewOrder/OrderLine are ordered: the extension transactions
+	// range-scan them (OrderStatus and Delivery walk one order's lines,
+	// StockLevel the last 20 orders' lines), so they keep sorted keys and
+	// gap versions, and inserts into them are stripe-locked against
+	// concurrent scans. History is append-only write-only — no
+	// transaction ever reads it back — so it keeps the cheaper unordered
+	// insert path.
+	s.Order = db.Create(storage.Layout{Name: "order", NumRecords: 1 << 16, RecordSize: orderSize, Growable: true, Ordered: true})
+	s.NewOrder = db.Create(storage.Layout{Name: "new_order", NumRecords: 1 << 16, RecordSize: newOrderSize, Growable: true, Ordered: true})
+	s.OrderLine = db.Create(storage.Layout{Name: "order_line", NumRecords: 1 << 18, RecordSize: orderLineSize, Growable: true, Ordered: true})
 	s.History = db.Create(storage.Layout{Name: "history", NumRecords: 1 << 16, RecordSize: historySize, Growable: true})
 
 	rng := rand.New(rand.NewSource(8843))
@@ -251,6 +266,8 @@ func LastName(code int) string {
 //  2. W_YTD equals the sum of its districts' D_YTD.
 //  3. Every customer's C_BALANCE equals -1000 - sum(payments) +
 //     ... payments only decrease balance; combined with H table sums.
+//  4. Every last-name posting-list entry points at a customer whose
+//     C_LAST field carries that list's name code.
 //
 // It returns a descriptive error on the first violation.
 func (s *Schema) CheckConsistency() error {
@@ -269,6 +286,28 @@ func (s *Schema) CheckConsistency() error {
 		wrec := s.DB.Table(s.Warehouse).Get(WKey(w))
 		if got := storage.GetU64(wrec, wYTD); got != distYTD {
 			return fmt.Errorf("tpcc: warehouse %d W_YTD=%d != sum(D_YTD)=%d", w, got, distYTD)
+		}
+	}
+	// 4. Last-name index agreement: every posting-list entry names a
+	// customer whose C_LAST matches the list's name code. Walked with the
+	// allocation-free Each accessor — the full sweep touches every
+	// posting list, so a copying Lookup would allocate per list.
+	for w := 0; w < s.W; w++ {
+		for d := 0; d < DistrictsPerWarehouse; d++ {
+			for code := 0; code < 1000 && code < s.CustomersPerDistrict; code++ {
+				var bad error
+				s.CustIndex.Each(lastNameKey(w, d, code), func(ck uint64) bool {
+					crec := s.DB.Table(s.Customer).Get(ck)
+					if crec == nil || storage.GetU64(crec, cLast) != uint64(code) {
+						bad = fmt.Errorf("tpcc: index entry (%d,%d,code %d) → customer %d mismatched", w, d, code, ck)
+						return false
+					}
+					return true
+				})
+				if bad != nil {
+					return bad
+				}
+			}
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine/dlfree"
 	"repro/internal/engine/twopl"
 	"repro/internal/orthrus"
+	"repro/internal/partstore"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/workload"
@@ -276,6 +277,7 @@ func TestDeliveryCreditsCustomer(t *testing.T) {
 	// Place one order synchronously through a planned context.
 	p := s.GenNewOrderParams(rand.New(rand.NewSource(4)), 0)
 	order := s.NewOrderTxn(p)
+	engine.MaterializeRanges(s.DB, order) // stripe locks for the inserts
 	order.SortOps()
 	ctx := &engine.PlannedCtx{DB: s.DB}
 	ctx.Begin(order)
@@ -285,6 +287,7 @@ func TestDeliveryCreditsCustomer(t *testing.T) {
 	ctx.Commit()
 
 	del := s.DeliveryTxn(0)
+	engine.MaterializeRanges(s.DB, del)
 	del.SortOps()
 	ctx.Begin(del)
 	if err := del.Logic(ctx); err != nil {
@@ -367,3 +370,51 @@ func TestNewOrderPartitionFootprint(t *testing.T) {
 }
 
 var _ workload.Source = (*Mix)(nil)
+
+// The five-transaction mix (scan-heavy extensions included) on the two
+// remaining engine families: conventional 2PL (lazy stripe/record scan
+// locks) and Partitioned-store (partition-footprint phantom protection).
+// Together with the dlfree and orthrus mixes above, all four engines run
+// OrderStatus/Delivery/StockLevel through Ctx.Scan.
+func TestFullMixOnTwoPL(t *testing.T) {
+	s := testSchema(t, 2)
+	eng := twopl.New(twopl.Config{DB: s.DB, Handler: deadlock.WaitDie{}, Threads: 4})
+	src := &Mix{
+		S:              s,
+		NewOrderWeight: 45, PaymentWeight: 43,
+		OrderStatusWeight: 4, DeliveryWeight: 4, StockLevelWeight: 4,
+	}
+	res := eng.Run(src, 300*time.Millisecond)
+	if res.Totals.Committed == 0 {
+		t.Fatal("no commits")
+	}
+	if res.Totals.Scanned == 0 {
+		t.Fatal("no rows flowed through Ctx.Scan")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullMixOnPartstore(t *testing.T) {
+	s := testSchema(t, 2)
+	eng := partstore.New(partstore.Config{
+		DB: s.DB, Partitions: 2, Threads: 4,
+		Partition: s.PartitionByWarehouse(2),
+	})
+	src := &Mix{
+		S:              s,
+		NewOrderWeight: 45, PaymentWeight: 43,
+		OrderStatusWeight: 4, DeliveryWeight: 4, StockLevelWeight: 4,
+	}
+	res := eng.Run(src, 300*time.Millisecond)
+	if res.Totals.Committed == 0 {
+		t.Fatal("no commits")
+	}
+	if res.Totals.Scanned == 0 {
+		t.Fatal("no rows flowed through Ctx.Scan")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

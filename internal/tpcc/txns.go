@@ -59,21 +59,41 @@ func (s *Schema) GenNewOrderParams(rng *rand.Rand, remotePct int) NewOrderParams
 	return p
 }
 
-// NewOrderTxn builds a runnable NewOrder transaction. The declared access
-// set is exact (no reconnaissance needed): R(Warehouse), W(District),
-// R(Customer), W(Stock per line). Item reads bypass concurrency control —
-// the Item table is read-only (§4.4) — as do the Order/NewOrder/OrderLine
-// inserts (append-only tables).
+// NewOrderTxn builds a runnable NewOrder transaction. The record access
+// set is exact: R(Warehouse), W(District), R(Customer), W(Stock per
+// line). Item reads bypass concurrency control — the Item table is
+// read-only (§4.4). The Order/NewOrder/OrderLine inserts are declared as
+// Write ranges over the keys the transaction expects to create, which
+// planned engines fence with stripe locks so concurrent range scans
+// (OrderStatus, Delivery, StockLevel) cannot observe a half-inserted
+// order. The expected order id is OLLP reconnaissance — D_NEXT_O_ID read
+// without locks — so the declared fence can go stale: execution then
+// surfaces txn.ErrEstimateMiss from the insert and Replan re-estimates,
+// the same protocol as Payment-by-last-name.
 func (s *Schema) NewOrderTxn(p NewOrderParams) *txn.Txn {
 	t := &txn.Txn{}
-	t.Ops = append(t.Ops,
-		txn.Op{Table: s.Warehouse, Key: WKey(p.W), Mode: txn.Read},
-		txn.Op{Table: s.District, Key: DKey(p.W, p.D), Mode: txn.Write},
-		txn.Op{Table: s.Customer, Key: s.CKey(p.W, p.D, p.C), Mode: txn.Read},
-	)
-	for i, it := range p.Items {
-		t.Ops = append(t.Ops, txn.Op{Table: s.Stock, Key: s.SKey(p.SupplyW[i], it), Mode: txn.Write})
+	plan := func(t *txn.Txn) {
+		t.Ops = t.Ops[:0]
+		t.Ops = append(t.Ops,
+			txn.Op{Table: s.Warehouse, Key: WKey(p.W), Mode: txn.Read},
+			txn.Op{Table: s.District, Key: DKey(p.W, p.D), Mode: txn.Write},
+			txn.Op{Table: s.Customer, Key: s.CKey(p.W, p.D, p.C), Mode: txn.Read},
+		)
+		for i, it := range p.Items {
+			t.Ops = append(t.Ops, txn.Op{Table: s.Stock, Key: s.SKey(p.SupplyW[i], it), Mode: txn.Write})
+		}
+		oid := storage.AtomicGetU64(s.DB.Table(s.District).Get(DKey(p.W, p.D)), dNextOID)
+		ok := OKey(p.W, p.D, oid)
+		llo, lhi := lineRange(ok)
+		t.Ranges = t.Ranges[:0]
+		t.Ranges = append(t.Ranges,
+			txn.RangeOp{Table: s.Order, Lo: ok, Hi: ok + 1, Mode: txn.Write},
+			txn.RangeOp{Table: s.NewOrder, Lo: ok, Hi: ok + 1, Mode: txn.Write},
+			txn.RangeOp{Table: s.OrderLine, Lo: llo, Hi: lhi, Mode: txn.Write},
+		)
 	}
+	plan(t)
+	t.Replan = plan
 
 	t.Logic = func(ctx txn.Ctx) error {
 		wrec, err := ctx.Read(s.Warehouse, WKey(p.W))

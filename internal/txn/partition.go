@@ -43,7 +43,11 @@ func RangePartitioner(n int, span uint64) PartitionFunc {
 }
 
 // PartitionSet derives the distinct home partitions of t's declared access
-// set in ascending order, caching the result in t.Partitions.
+// set in ascending order, caching the result in t.Partitions. Declared
+// ranges contribute the partition of every key they cover — including
+// keys not yet present — so a Partitioned-store scan serializes against
+// any insert a concurrent transaction could make into the range (its
+// phantom protection is exactly this partition-footprint overlap).
 //
 // The cache is epoch-independent by design: record → logical partition is
 // the static level of two-level routing, so a partition set computed once
@@ -56,8 +60,7 @@ func (t *Txn) PartitionSet(pf PartitionFunc) []int {
 	}
 	var set [64]bool
 	var overflow map[int]bool
-	for _, op := range t.Ops {
-		p := pf(op.Table, op.Key)
+	mark := func(p int) {
 		if p < len(set) {
 			set[p] = true
 		} else {
@@ -65,6 +68,17 @@ func (t *Txn) PartitionSet(pf PartitionFunc) []int {
 				overflow = make(map[int]bool)
 			}
 			overflow[p] = true
+		}
+	}
+	for _, op := range t.Ops {
+		mark(pf(op.Table, op.Key))
+	}
+	for _, r := range t.Ranges {
+		// Per-key enumeration is the only footprint an opaque partition
+		// function admits; declared ranges are short (scan lengths, one
+		// order's lines), so the cost is in line with the scan itself.
+		for key := r.Lo; key < r.Hi; key++ {
+			mark(pf(r.Table, key))
 		}
 	}
 	for p := range set {

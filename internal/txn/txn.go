@@ -1,7 +1,10 @@
 // Package txn defines the transaction representation shared by every
-// engine: a declared access set (for the planned-access engines — ORTHRUS
-// and Deadlock-free locking), a logic closure executed against an
-// engine-supplied access context (Ctx), and abort/retry bookkeeping.
+// engine: a declared access set — record Ops plus range RangeOps, for the
+// planned-access engines (ORTHRUS and Deadlock-free locking) — a logic
+// closure executed against an engine-supplied access context (Ctx), and
+// abort/retry bookkeeping. Ranges are protected against phantoms with
+// stripe (gap) locks carved out of each table's lock namespace; see the
+// stripe constants below.
 //
 // The same Txn value runs unmodified on every engine in the repository;
 // only the Ctx implementation differs. Conventional 2PL ignores Ops and
@@ -45,6 +48,63 @@ type Op struct {
 	Mode  Mode
 }
 
+// Stripe (gap) locks.
+//
+// Range scans need protection not just for the records they read but for
+// the *gaps* between them: a concurrent insert into a scanned range is a
+// phantom. The lock space of every table is therefore extended with
+// synthetic stripe keys — key bit 63 set, remaining bits the record key
+// shifted down by StripeShift — so one stripe lock covers StripeSize
+// adjacent record keys. A scan read-locks every stripe overlapping its
+// range; an insert write-locks the stripe of its new key; the existing
+// (table, key) lock machinery of every engine carries both without
+// change. Record keys must stay below 1<<63 (asserted by ordered storage
+// tables), so stripe keys can never collide with record keys, and within
+// a table every record key sorts before every stripe key — the global
+// lexicographic lock order stays total, preserving the Deadlock-free
+// engine's ordered-acquisition argument.
+const (
+	// StripeShift is log2 of the stripe width.
+	StripeShift = 6
+	// StripeSize is the number of adjacent record keys one stripe lock
+	// covers.
+	StripeSize = 1 << StripeShift
+	// StripeFlag marks a lock key as a stripe (gap) lock.
+	StripeFlag uint64 = 1 << 63
+)
+
+// StripeKey returns the stripe lock key covering record key.
+func StripeKey(key uint64) uint64 { return StripeFlag | key>>StripeShift }
+
+// StripeSpan returns the first and last stripe lock keys covering the
+// half-open record-key range [lo, hi). hi must be greater than lo.
+func StripeSpan(lo, hi uint64) (first, last uint64) {
+	return StripeKey(lo), StripeKey(hi - 1)
+}
+
+// RangeOp names one key range in a transaction's declared access set:
+// the half-open interval [Lo, Hi) of table keys the transaction scans
+// (Mode Read) or may insert into (Mode Write). Planned-access engines
+// materialize declared ranges into stripe lock Ops before acquisition;
+// conventional 2PL takes the equivalent stripe locks lazily inside
+// Ctx.Scan and Ctx.Insert.
+type RangeOp struct {
+	Table  int
+	Lo, Hi uint64
+	Mode   Mode
+}
+
+// Empty reports whether the range covers no keys.
+func (r RangeOp) Empty() bool { return r.Hi <= r.Lo }
+
+// Contains reports whether key falls inside the range.
+func (r RangeOp) Contains(key uint64) bool { return key >= r.Lo && key < r.Hi }
+
+// String implements fmt.Stringer.
+func (r RangeOp) String() string {
+	return fmt.Sprintf("%s t%d/[%d,%d)", r.Mode, r.Table, r.Lo, r.Hi)
+}
+
 // String implements fmt.Stringer.
 func (o Op) String() string { return fmt.Sprintf("%s t%d/%d", o.Mode, o.Table, o.Key) }
 
@@ -78,9 +138,22 @@ type Ctx interface {
 	// engine has recorded an undo image; mutations are rolled back if the
 	// transaction subsequently aborts.
 	Write(table int, key uint64) ([]byte, error)
-	// Insert adds a new record. Inserts bypass logical locking (see
-	// internal/storage package comment).
+	// Insert adds a new record. On scan-protected tables (ordered
+	// growable storage) the engine holds the key's stripe lock in Write
+	// mode across the insert, so a concurrent range scan covering the key
+	// cannot observe a phantom; on other tables inserts bypass logical
+	// locking (see internal/storage package comment).
 	Insert(table int, key uint64, value []byte) error
+	// Scan iterates the records of table with keys in the half-open range
+	// [lo, hi) in ascending key order, invoking fn for each. The engine
+	// guarantees the iteration is phantom-safe on scan-protected tables:
+	// every covering stripe is read-locked before the first callback, so
+	// no insert can add a key to the range until the transaction ends.
+	// fn must treat rec as read-only; a non-nil error from fn stops the
+	// iteration and is returned. Scanning a range the transaction later
+	// inserts into is unsupported under conventional 2PL (read→write
+	// stripe upgrade).
+	Scan(table int, lo, hi uint64, fn func(key uint64, rec []byte) error) error
 }
 
 // Logic is a transaction body. It may be re-executed after aborts, so it
@@ -95,6 +168,13 @@ type Txn struct {
 	// Ops is the declared access set used by planned-access engines.
 	// Conventional 2PL ignores it.
 	Ops []Op
+	// Ranges is the declared range-access set: key intervals the
+	// transaction scans (Read) or may insert into (Write). Planned
+	// engines materialize each range into stripe lock Ops
+	// (engine.MaterializeRanges); Partitioned-store folds every key a
+	// range covers into the partition footprint. Conventional 2PL
+	// ignores it (stripe locks are taken lazily).
+	Ranges []RangeOp
 	// Logic is the transaction body.
 	Logic Logic
 	// Partitions optionally pre-computes the set of home partitions the
@@ -159,6 +239,22 @@ func (t *Txn) Declared(table int, key uint64, mode Mode) bool {
 		return false
 	}
 	return op.Mode == Write || mode == Read
+}
+
+// DeclaredRange reports whether a single declared range covers the whole
+// half-open interval [lo, hi) of table with a mode at least as strong as
+// mode. The range set is small (a handful per transaction), so the check
+// is a linear pass.
+func (t *Txn) DeclaredRange(table int, lo, hi uint64, mode Mode) bool {
+	for _, r := range t.Ranges {
+		if r.Table != table || r.Lo > lo || r.Hi < hi {
+			continue
+		}
+		if r.Mode == Write || mode == Read {
+			return true
+		}
+	}
+	return false
 }
 
 // ResetScratch clears engine scratch fields before a (re)run.

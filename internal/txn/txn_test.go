@@ -182,3 +182,72 @@ func TestSortOpsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- range declarations and stripe (gap) keys ----------------------------
+
+func TestStripeKeys(t *testing.T) {
+	if StripeKey(0) != StripeFlag {
+		t.Fatalf("StripeKey(0) = %x", StripeKey(0))
+	}
+	if StripeKey(StripeSize-1) != StripeKey(0) {
+		t.Fatal("keys within one stripe map to different stripe keys")
+	}
+	if StripeKey(StripeSize) == StripeKey(StripeSize-1) {
+		t.Fatal("stripe boundary not respected")
+	}
+	first, last := StripeSpan(10, 20)
+	if first != last || first != StripeKey(10) {
+		t.Fatalf("StripeSpan(10,20) = %x..%x", first, last)
+	}
+	first, last = StripeSpan(StripeSize-1, StripeSize+1)
+	if last != first+1 {
+		t.Fatalf("StripeSpan across a boundary = %x..%x", first, last)
+	}
+	// Stripe keys sort after every record key of the same table, keeping
+	// the global (table, key) lock order total.
+	rec := Op{Table: 3, Key: ^uint64(0) >> 1} // largest legal record key
+	str := Op{Table: 3, Key: StripeKey(0)}
+	if !rec.Less(str) {
+		t.Fatal("stripe key does not sort after record keys")
+	}
+}
+
+func TestDeclaredRange(t *testing.T) {
+	tx := &Txn{Ranges: []RangeOp{
+		{Table: 1, Lo: 100, Hi: 200, Mode: Read},
+		{Table: 2, Lo: 0, Hi: 50, Mode: Write},
+	}}
+	if !tx.DeclaredRange(1, 100, 200, Read) || !tx.DeclaredRange(1, 150, 160, Read) {
+		t.Fatal("covered range not declared")
+	}
+	if tx.DeclaredRange(1, 99, 200, Read) || tx.DeclaredRange(1, 100, 201, Read) {
+		t.Fatal("uncovered range declared")
+	}
+	if tx.DeclaredRange(1, 100, 200, Write) {
+		t.Fatal("Read range satisfied a Write requirement")
+	}
+	if !tx.DeclaredRange(2, 10, 20, Read) || !tx.DeclaredRange(2, 10, 20, Write) {
+		t.Fatal("Write range must satisfy both modes")
+	}
+	if tx.DeclaredRange(3, 0, 1, Read) {
+		t.Fatal("undeclared table declared")
+	}
+}
+
+func TestSortOpsDedupesStripeOps(t *testing.T) {
+	tx := &Txn{Ops: []Op{
+		{Table: 1, Key: StripeKey(5), Mode: Read},
+		{Table: 1, Key: 5, Mode: Write},
+		{Table: 1, Key: StripeKey(5), Mode: Write},
+	}}
+	tx.SortOps()
+	if len(tx.Ops) != 2 {
+		t.Fatalf("ops = %v", tx.Ops)
+	}
+	if tx.Ops[0].Key != 5 || tx.Ops[1].Key != StripeKey(5) {
+		t.Fatalf("order wrong: %v", tx.Ops)
+	}
+	if tx.Ops[1].Mode != Write {
+		t.Fatal("duplicate stripe did not widen to Write")
+	}
+}

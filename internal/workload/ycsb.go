@@ -8,7 +8,10 @@
 //     contention;
 //   - partition-locality constraints: unconstrained ("random"), exactly-k
 //     partitions per transaction (Figure 6; "single" k=1 and "dual" k=2 in
-//     Appendix A), and mixed single/multi workloads (Figure 7).
+//     Appendix A), and mixed single/multi workloads (Figure 7);
+//   - a YCSB-E-style scan mix (ScanPct/MaxScanLen): a configurable
+//     fraction of transactions become declared range scans served through
+//     Ctx.Scan — an extension beyond the paper's point-access workloads.
 //
 // Hot ops are emitted before cold ops within each transaction, matching
 // the paper's note that "locks on two hot records are acquired before
@@ -72,6 +75,17 @@ type YCSB struct {
 	// WorkPerOp adds a busy loop of this many iterations per record access
 	// to model record-processing cost beyond the raw memory touch.
 	WorkPerOp int
+	// ScanPct makes this percentage of transactions range scans (the
+	// YCSB-E shape): each scan reads a contiguous key interval through
+	// Ctx.Scan, with the interval declared as a RangeOp plus per-record
+	// Read ops so planned engines lock it up front. The remaining
+	// transactions keep the point-access shape above. Scans are
+	// incompatible with Spread and ZipfTheta.
+	ScanPct int
+	// MaxScanLen bounds scan lengths: each scan draws its length
+	// uniformly from [1, MaxScanLen] (the YCSB-E uniform scan-length
+	// distribution). Required in [1, NumRecords] when ScanPct > 0.
+	MaxScanLen int
 }
 
 // Validate checks configuration consistency.
@@ -103,6 +117,22 @@ func (c *YCSB) Validate() error {
 			return fmt.Errorf("workload: ZipfTheta does not support partition constraints (Spread)")
 		}
 	}
+	if c.ScanPct < 0 || c.ScanPct > 100 {
+		return fmt.Errorf("workload: ScanPct %d out of range [0, 100]", c.ScanPct)
+	}
+	if c.ScanPct > 0 {
+		if c.MaxScanLen < 1 || uint64(c.MaxScanLen) > c.NumRecords {
+			return fmt.Errorf("workload: MaxScanLen %d out of range [1, NumRecords=%d]", c.MaxScanLen, c.NumRecords)
+		}
+		if c.Spread > 0 {
+			return fmt.Errorf("workload: ScanPct does not support partition constraints (Spread)")
+		}
+		if c.ZipfTheta != 0 {
+			return fmt.Errorf("workload: ScanPct and ZipfTheta are mutually exclusive")
+		}
+	} else if c.MaxScanLen != 0 {
+		return fmt.Errorf("workload: MaxScanLen %d set without ScanPct", c.MaxScanLen)
+	}
 	if c.Spread > 0 {
 		if c.Partitions <= 0 {
 			return fmt.Errorf("workload: Spread set but Partitions is 0")
@@ -125,6 +155,10 @@ func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
 	mode := txn.Write
 	if c.ReadOnly {
 		mode = txn.Read
+	}
+
+	if c.ScanPct > 0 && rng.Intn(100) < c.ScanPct {
+		return c.scanTxn(rng)
 	}
 
 	if c.ZipfTheta > 1 {
@@ -180,6 +214,44 @@ func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
 
 	t := &txn.Txn{Ops: ops, Partitions: parts}
 	t.Logic = c.logic(t)
+	return t
+}
+
+// scanTxn builds one YCSB-E range scan: a uniform start key, a length
+// uniform in [1, MaxScanLen], read through Ctx.Scan. The interval is
+// declared both as a RangeOp (stripe/partition protection) and as
+// per-record Read ops, so planned engines pay the honest cost of locking
+// every scanned record up front.
+func (c *YCSB) scanTxn(rng *rand.Rand) *txn.Txn {
+	n := uint64(1 + rng.Intn(c.MaxScanLen))
+	lo := uint64(rng.Int63n(int64(c.NumRecords - n + 1)))
+	hi := lo + n
+	ops := make([]txn.Op, 0, n)
+	for k := lo; k < hi; k++ {
+		ops = append(ops, txn.Op{Table: c.Table, Key: k, Mode: txn.Read})
+	}
+	t := &txn.Txn{
+		Ops:    ops,
+		Ranges: []txn.RangeOp{{Table: c.Table, Lo: lo, Hi: hi, Mode: txn.Read}},
+	}
+	work := c.WorkPerOp
+	t.Logic = func(ctx txn.Ctx) error {
+		var sink uint64
+		err := ctx.Scan(c.Table, lo, hi, func(_ uint64, rec []byte) error {
+			sink += getU64(rec)
+			for i := 0; i < work; i++ {
+				sink += uint64(i)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if sink == ^uint64(0) { // defeat dead-code elimination
+			return fmt.Errorf("workload: impossible checksum")
+		}
+		return nil
+	}
 	return t
 }
 

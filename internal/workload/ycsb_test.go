@@ -275,6 +275,7 @@ type fakeCtx struct {
 	store  map[uint64][]byte
 	reads  int
 	writes int
+	scans  int
 }
 
 func (f *fakeCtx) rec(key uint64) []byte {
@@ -296,6 +297,17 @@ func (f *fakeCtx) Write(_ int, key uint64) ([]byte, error) {
 
 func (f *fakeCtx) Insert(_ int, key uint64, v []byte) error {
 	f.store[key] = append([]byte(nil), v...)
+	return nil
+}
+
+func (f *fakeCtx) Scan(_ int, lo, hi uint64, fn func(key uint64, rec []byte) error) error {
+	f.scans++
+	for key := lo; key < hi; key++ {
+		f.reads++
+		if err := fn(key, f.rec(key)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -354,5 +366,85 @@ func TestPartitionSetDerivation(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("PartitionSet = %v, want %v", got, want)
 		}
+	}
+}
+
+// --- YCSB-E scan mix ------------------------------------------------------
+
+func TestScanKnobValidation(t *testing.T) {
+	bad := []*YCSB{
+		{NumRecords: 1000, OpsPerTxn: 10, ScanPct: -1, MaxScanLen: 10},
+		{NumRecords: 1000, OpsPerTxn: 10, ScanPct: 101, MaxScanLen: 10},
+		{NumRecords: 1000, OpsPerTxn: 10, ScanPct: 50},                   // no MaxScanLen
+		{NumRecords: 1000, OpsPerTxn: 10, ScanPct: 50, MaxScanLen: 1001}, // > NumRecords
+		{NumRecords: 1000, OpsPerTxn: 10, ScanPct: 50, MaxScanLen: -3},   // negative
+		{NumRecords: 1000, OpsPerTxn: 10, MaxScanLen: 10},                // MaxScanLen without ScanPct
+		{NumRecords: 1000, OpsPerTxn: 10, ScanPct: 50, MaxScanLen: 10, Spread: 2, Partitions: 4},
+		{NumRecords: 1000, OpsPerTxn: 10, ScanPct: 50, MaxScanLen: 10, ZipfTheta: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	ok := &YCSB{NumRecords: 1000, OpsPerTxn: 10, ScanPct: 95, MaxScanLen: 100}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanTxnShape(t *testing.T) {
+	c := &YCSB{NumRecords: 1000, OpsPerTxn: 10, ScanPct: 100, MaxScanLen: 50}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := newRand()
+	for i := 0; i < 200; i++ {
+		tx := c.Next(0, rng)
+		if len(tx.Ranges) != 1 {
+			t.Fatalf("ranges = %v", tx.Ranges)
+		}
+		r := tx.Ranges[0]
+		n := r.Hi - r.Lo
+		if n < 1 || n > 50 || r.Hi > 1000 || r.Mode != txn.Read {
+			t.Fatalf("bad range %v", r)
+		}
+		// Every scanned key is individually declared for planned engines.
+		if uint64(len(tx.Ops)) != n {
+			t.Fatalf("ops %d != range width %d", len(tx.Ops), n)
+		}
+		for j, op := range tx.Ops {
+			if op.Key != r.Lo+uint64(j) || op.Mode != txn.Read {
+				t.Fatalf("op %d = %v, range %v", j, op, r)
+			}
+		}
+	}
+}
+
+func TestScanFractionRoughlyHonored(t *testing.T) {
+	c := &YCSB{NumRecords: 1000, OpsPerTxn: 10, ScanPct: 30, MaxScanLen: 5}
+	rng := newRand()
+	scans := 0
+	for i := 0; i < 1000; i++ {
+		if len(c.Next(0, rng).Ranges) > 0 {
+			scans++
+		}
+	}
+	if scans < 200 || scans > 400 {
+		t.Fatalf("scan fraction = %d/1000, want ~300", scans)
+	}
+}
+
+func TestScanLogicSumsRange(t *testing.T) {
+	c := &YCSB{NumRecords: 100, OpsPerTxn: 4, ScanPct: 100, MaxScanLen: 8, WorkPerOp: 2}
+	rng := newRand()
+	tx := c.Next(0, rng)
+	ctx := &fakeCtx{store: map[uint64][]byte{}}
+	if err := tx.Logic(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r := tx.Ranges[0]
+	if ctx.scans != 1 || uint64(ctx.reads) != r.Hi-r.Lo {
+		t.Fatalf("scans=%d reads=%d range=%v", ctx.scans, ctx.reads, r)
 	}
 }

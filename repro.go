@@ -151,6 +151,23 @@ type Txn = txn.Txn
 // Op names one record in a transaction's declared access set.
 type Op = txn.Op
 
+// RangeOp names one key interval in a transaction's declared access set:
+// a range the transaction scans (Read) or may insert into (Write).
+// Engines protect declared ranges against phantoms with stripe (gap)
+// locks; see README.md "Range scans and phantom protection".
+type RangeOp = txn.RangeOp
+
+// Stripe (gap) lock geometry: one stripe lock covers StripeSize adjacent
+// record keys; StripeKey maps a record key to its covering stripe lock
+// key. Record keys must stay below 1<<63 (bit 63 marks stripe keys).
+const (
+	StripeShift = txn.StripeShift
+	StripeSize  = txn.StripeSize
+)
+
+// StripeKey returns the stripe lock key covering a record key.
+func StripeKey(key uint64) uint64 { return txn.StripeKey(key) }
+
 // Ctx is the engine-supplied access context transaction logic runs against.
 type Ctx = txn.Ctx
 
