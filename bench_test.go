@@ -514,3 +514,53 @@ func BenchmarkScanMix(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkReadMostly: the MVCC snapshot-read extension's headline — a
+// read-mostly YCSB mix on the contended hot set, comparing the locking
+// read path (ReadOnly, plain table) against the snapshot path
+// (ReadOnlyPct, versioned table) on all four engines. The acceptance bar
+// is snapshot ≥ 1.5× locking at 95% reads on the contended point.
+func BenchmarkReadMostly(b *testing.B) {
+	systems := []struct {
+		name  string
+		build func(db *DB) Engine
+	}{
+		{"orthrus", func(db *DB) Engine {
+			return NewOrthrus(OrthrusConfig{DB: db, CCThreads: 2, ExecThreads: 6})
+		}},
+		{"dlfree", func(db *DB) Engine {
+			return NewDeadlockFree(DeadlockFreeConfig{DB: db, Threads: 8})
+		}},
+		{"2pl-waitdie", func(db *DB) Engine {
+			return NewTwoPL(TwoPLConfig{DB: db, Handler: WaitDie(), Threads: 8})
+		}},
+		{"partstore", func(db *DB) Engine {
+			return NewPartitionedStore(PartitionedStoreConfig{DB: db, Partitions: 8})
+		}},
+	}
+	for _, pct := range []int{50, 95} {
+		b.Run(benchName("read", pct), func(b *testing.B) {
+			for _, mode := range []string{"locking", "snapshot"} {
+				b.Run(mode, func(b *testing.B) {
+					for _, sys := range systems {
+						b.Run(sys.name, func(b *testing.B) {
+							db := NewDB()
+							tbl := db.Create(Layout{Name: "ycsb", NumRecords: benchRecords,
+								RecordSize: 100, Versioned: mode == "snapshot"})
+							// Identical mix both ways: on the plain table the
+							// ReadOnly-flagged transactions fall back to their
+							// declared locking reads; on the versioned table
+							// they take the snapshot path.
+							src := &YCSB{Table: tbl, NumRecords: benchRecords, OpsPerTxn: 10,
+								HotRecords: 64, HotOps: 2, ReadOnlyPct: pct}
+							if err := src.Validate(); err != nil {
+								b.Fatal(err)
+							}
+							reportRun(b, sys.build(db), src)
+						})
+					}
+				})
+			}
+		})
+	}
+}

@@ -16,9 +16,11 @@
 // BatchSize, the adaptive experiment compares static vs elastic CC
 // routing across a mid-run hot-set shift, the durability experiment
 // sweeps WAL sync policy and group-commit size against the no-WAL
-// baseline, and the scan experiment sweeps a YCSB-E scan mix (scan
+// baseline, the scan experiment sweeps a YCSB-E scan mix (scan
 // fraction × max scan length, pinnable with -scan-pct/-scan-maxlen)
-// across all four engines. With -json <dir>, each experiment's series is also written
+// across all four engines, and the htap experiment compares MVCC
+// snapshot scans against locking scans under a contended transfer mix
+// (analytics fraction pinnable with -readonly-pct). With -json <dir>, each experiment's series is also written
 // as JSON rows (one object per line) to <dir>/BENCH_<id>.json for
 // mechanical tracking across checkouts.
 package main
@@ -44,6 +46,7 @@ func main() {
 		custs      = flag.Int("tpcc-customers", 100, "TPC-C customers per district (spec: 3,000)")
 		scanPct    = flag.Int("scan-pct", 0, "scan experiment: pin the scan fraction (percent; 0 sweeps, out-of-range panics)")
 		scanLen    = flag.Int("scan-maxlen", 0, "scan experiment: pin the max scan length (0 sweeps, out-of-range panics)")
+		roPct      = flag.Int("readonly-pct", 0, "htap experiment: pin the analytics fraction (percent; 0 uses the default, out-of-range panics)")
 		jsonDir    = flag.String("json", "", "also write each experiment's series as JSON rows to <dir>/BENCH_<id>.json")
 	)
 	flag.Parse()
@@ -69,6 +72,7 @@ func main() {
 		TPCCCustomers: *custs,
 		ScanPct:       *scanPct,
 		ScanMaxLen:    *scanLen,
+		ReadOnlyPct:   *roPct,
 		Out:           os.Stdout,
 	}.Defaults()
 

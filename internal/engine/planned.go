@@ -32,12 +32,18 @@ type PlannedCtx struct {
 	Undo  UndoLog
 	Wal   *wal.Appender        // redo capture; nil when durability is off
 	Stats *metrics.ThreadStats // scan-row accounting; may be nil (tests)
+	// Versions is VersionedView(DB): writes to versioned tables are
+	// noted in VSet so the engine can install their after-images at
+	// pre-commit (CommitVersions). Nil when the database has none.
+	Versions []*storage.VersionedTable
+	VSet     VersionSet
 }
 
 // Begin attaches the context to a transaction attempt.
 func (c *PlannedCtx) Begin(t *txn.Txn) {
 	c.T = t
 	c.Undo.Reset()
+	c.VSet.Reset()
 	if c.Wal != nil {
 		c.Wal.Abort() // drop any capture a panicked/failed attempt left
 	}
@@ -65,6 +71,7 @@ func (c *PlannedCtx) Write(table int, key uint64) ([]byte, error) {
 	if c.Wal != nil {
 		c.Wal.Note(table, key, rec)
 	}
+	c.VSet.Note(c.Versions, table, key)
 	return rec, nil
 }
 
@@ -75,6 +82,9 @@ func (c *PlannedCtx) Write(table int, key uint64) ([]byte, error) {
 // references the table's own copy of the value, so the caller may reuse
 // its buffer immediately.
 func (c *PlannedCtx) Insert(table int, key uint64, value []byte) error {
+	if c.Versions != nil && table < len(c.Versions) && c.Versions[table] != nil {
+		panic("engine: in-transaction Insert on a versioned table (versioned layouts are fixed-size and load-populated)")
+	}
 	if c.DB.Table(table).ScanProtected() && !c.T.Declared(table, txn.StripeKey(key), txn.Write) {
 		return txn.ErrEstimateMiss
 	}
@@ -119,9 +129,11 @@ func (c *PlannedCtx) Scan(table int, lo, hi uint64, fn func(key uint64, rec []by
 // locks.
 func (c *PlannedCtx) Commit() { c.Undo.Reset() }
 
-// Abort rolls back in-place writes and discards the redo capture.
+// Abort rolls back in-place writes and discards the redo capture along
+// with the noted version installs.
 func (c *PlannedCtx) Abort() {
 	c.Undo.Rollback()
+	c.VSet.Reset()
 	if c.Wal != nil {
 		c.Wal.Abort()
 	}

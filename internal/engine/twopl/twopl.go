@@ -41,6 +41,10 @@ type Config struct {
 	// fires from the group-commit flusher. Nil or Off = the paper's
 	// instant acknowledgment.
 	Wal *wal.Log
+	// Snapshot tunes the MVCC snapshot-read path, active when DB has
+	// versioned tables: ReadOnly transactions then bypass the lock table
+	// entirely and read at the commit frontier.
+	Snapshot engine.SnapshotConfig
 }
 
 // Engine is a conventional dynamic-2PL execution engine.
@@ -48,6 +52,7 @@ type Engine struct {
 	cfg   Config
 	table *lock.Table
 	inUse engine.InUseGuard
+	clock engine.CommitClock // stamps versioned commits when Wal is off
 }
 
 // New builds the engine and its shared lock table.
@@ -77,15 +82,27 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 
 // Start implements engine.Runtime.
 func (e *Engine) Start() engine.Session {
+	snaps := engine.NewSnapshots(e.cfg.DB, e.cfg.Wal, &e.clock, e.cfg.Threads, e.cfg.Snapshot)
 	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
 		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn, *engine.Completion) {
 			ids := engine.NewIDSource(thread)
-			ctx := &execCtx{eng: e, thread: thread, stats: stats}
+			ctx := &execCtx{eng: e, thread: thread, stats: stats,
+				vts: engine.VersionedView(e.cfg.DB)}
 			if e.cfg.Wal.Enabled() {
 				ctx.wal = e.cfg.Wal.NewAppender(stats)
 			}
+			var sctx engine.SnapshotCtx
 			return func(t *txn.Txn, comp *engine.Completion) {
 				t.ID = ids.Next()
+				if t.ReadOnly && snaps != nil {
+					// Snapshot fast path: no lock table, no wait-die
+					// timestamp, no WAL round-trip (reads are durable).
+					start := time.Now()
+					snaps.Exec(thread, t, &sctx, stats)
+					stats.AddExec(time.Since(start))
+					comp.Finish(true)
+					return
+				}
 				e.execute(ctx, t, stats, comp)
 			}
 		})
@@ -152,6 +169,8 @@ type execCtx struct {
 	t      *txn.Txn
 	held   []*lock.Request
 	undo   engine.UndoLog
+	vts    []*storage.VersionedTable // VersionedView(DB); nil without versioned tables
+	vset   engine.VersionSet
 	fl     lock.Freelist
 	waited time.Duration // lock-wait time this attempt
 	locked time.Duration // lock-manager work time this attempt
@@ -161,6 +180,7 @@ func (c *execCtx) begin(t *txn.Txn) {
 	c.t = t
 	c.held = c.held[:0]
 	c.undo.Reset()
+	c.vset.Reset()
 	c.waited, c.locked = 0, 0
 }
 
@@ -217,6 +237,7 @@ func (c *execCtx) Write(table int, key uint64) ([]byte, error) {
 	if c.wal != nil {
 		c.wal.Note(table, key, rec)
 	}
+	c.vset.Note(c.vts, table, key)
 	return rec, nil
 }
 
@@ -225,6 +246,9 @@ func (c *execCtx) Write(table int, key uint64) ([]byte, error) {
 // locking: the insert conflicts with any concurrent scan whose range
 // covers the key, and the stripe is held to commit like every other lock.
 func (c *execCtx) Insert(table int, key uint64, value []byte) error {
+	if c.vts != nil && table < len(c.vts) && c.vts[table] != nil {
+		panic("twopl: in-transaction Insert on a versioned table (versioned layouts are fixed-size and load-populated)")
+	}
 	if c.eng.cfg.DB.Table(table).ScanProtected() {
 		if _, err := c.acquire(table, txn.StripeKey(key), txn.Write); err != nil {
 			return err
@@ -280,21 +304,26 @@ func (c *execCtx) releaseAll() {
 	c.locked += time.Since(start)
 }
 
-// commit seals the redo record before releasing a single lock: the LSN
-// assigned inside Wal.Commit must order before any dependent
-// transaction's, and dependents can only run after the release below.
-// Early lock release is safe — the redo-only log never exposes
-// uncommitted data (writes are already applied in place).
+// commit seals the redo record — and installs versioned after-images —
+// before releasing a single lock: the LSN assigned inside Wal.Commit
+// must order before any dependent transaction's, and dependents can only
+// run after the release below. Early lock release is safe — the
+// redo-only log never exposes uncommitted data (writes are already
+// applied in place), and snapshot readers resolve through version
+// chains, never the live record bytes.
 func (c *execCtx) commit(comp *engine.Completion) {
 	c.undo.Reset()
+	var ack func()
 	if c.wal != nil {
-		c.wal.Commit(comp.Defer())
+		ack = comp.Defer()
 	}
+	engine.CommitVersions(c.wal, &c.eng.clock, &c.vset, c.stats, ack)
 	c.releaseAll()
 }
 
 func (c *execCtx) abort() {
 	c.undo.Rollback()
+	c.vset.Reset()
 	if c.wal != nil {
 		c.wal.Abort()
 	}

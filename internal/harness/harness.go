@@ -41,6 +41,10 @@ type Config struct {
 	// sweep. Zero means sweep; out-of-range values panic in Defaults.
 	ScanPct    int
 	ScanMaxLen int
+	// ReadOnlyPct pins the htap experiment's read-only (analytics)
+	// transaction fraction instead of its default. Zero means default;
+	// out-of-range values panic in Defaults.
+	ReadOnlyPct int
 	// Out receives the printed tables.
 	Out io.Writer
 
@@ -81,6 +85,9 @@ func (c Config) Defaults() Config {
 	if c.ScanMaxLen < 0 || uint64(c.ScanMaxLen) > c.Records {
 		panic(fmt.Sprintf("harness: ScanMaxLen %d out of range [0, Records=%d] (0 means sweep)", c.ScanMaxLen, c.Records))
 	}
+	if c.ReadOnlyPct < 0 || c.ReadOnlyPct > 100 {
+		panic(fmt.Sprintf("harness: ReadOnlyPct %d out of range [0, 100] (0 means default)", c.ReadOnlyPct))
+	}
 	if c.Out == nil {
 		panic("harness: Config.Out must be set")
 	}
@@ -116,6 +123,7 @@ func Registry() []Experiment {
 		{"adaptive", "Extension", "elastic vs static CC routing across a mid-run hot-set shift", adaptive},
 		{"durability", "Extension", "throughput/latency vs WAL sync policy and group-commit size", durability},
 		{"scan", "Extension", "phantom-safe range-scan throughput/p99 vs scan fraction and length", scanExp},
+		{"htap", "Extension", "MVCC snapshot scans vs locking scans under a contended write mix", htapExp},
 	}
 }
 

@@ -25,7 +25,7 @@ func tinyConfig(buf *bytes.Buffer) Config {
 func TestRegistryCoversEveryFigure(t *testing.T) {
 	want := []string{"fig1", "fig4a", "fig4b", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12a", "fig12b",
-		"openloop", "batching", "adaptive", "durability", "scan"}
+		"openloop", "batching", "adaptive", "durability", "scan", "htap"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
@@ -58,6 +58,24 @@ func TestDefaults(t *testing.T) {
 		}
 	}()
 	Config{}.Defaults()
+}
+
+func TestDefaultsRejectsBadReadOnlyPct(t *testing.T) {
+	var buf bytes.Buffer
+	for _, pct := range []int{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Defaults accepted ReadOnlyPct=%d", pct)
+				}
+			}()
+			Config{Out: &buf, ReadOnlyPct: pct}.Defaults()
+		}()
+	}
+	// In-range values pass through untouched.
+	if c := (Config{Out: &buf, ReadOnlyPct: 35}).Defaults(); c.ReadOnlyPct != 35 {
+		t.Fatalf("ReadOnlyPct = %d", c.ReadOnlyPct)
+	}
 }
 
 func TestThreadAxisCapping(t *testing.T) {

@@ -30,6 +30,14 @@ type ThreadStats struct {
 	Misses    uint64 // OLLP estimate misses (subset of restarts)
 	Scanned   uint64 // rows delivered through Ctx.Scan (committed or not)
 
+	// MVCC snapshot-read counters (zero unless the database has
+	// versioned tables and the workload marks transactions ReadOnly).
+	SnapTxns     uint64 // read-only transactions served from a snapshot
+	SnapRecords  uint64 // records resolved through version chains (reads + scan rows)
+	SnapHops     uint64 // version-chain nodes traversed resolving them
+	SnapStaleLSN uint64 // summed snapshot lag behind the log tail, in LSNs, at begin
+	Installed    uint64 // committed after-images pushed onto version chains
+
 	ExecNanos int64
 	LockNanos int64
 	WaitNanos int64
@@ -83,6 +91,11 @@ func (s *Set) Totals() Totals {
 		t.Aborted += th.Aborted
 		t.Misses += th.Misses
 		t.Scanned += th.Scanned
+		t.SnapTxns += th.SnapTxns
+		t.SnapRecords += th.SnapRecords
+		t.SnapHops += th.SnapHops
+		t.SnapStaleLSN += th.SnapStaleLSN
+		t.Installed += th.Installed
 		t.Exec += time.Duration(th.ExecNanos)
 		t.Lock += time.Duration(th.LockNanos)
 		t.Wait += time.Duration(th.WaitNanos)
@@ -94,15 +107,20 @@ func (s *Set) Totals() Totals {
 
 // Totals is an aggregate over threads.
 type Totals struct {
-	Committed uint64
-	Aborted   uint64
-	Misses    uint64
-	Scanned   uint64
-	Exec      time.Duration
-	Lock      time.Duration
-	Wait      time.Duration
-	Log       time.Duration
-	Latency   Histogram
+	Committed    uint64
+	Aborted      uint64
+	Misses       uint64
+	Scanned      uint64
+	SnapTxns     uint64
+	SnapRecords  uint64
+	SnapHops     uint64
+	SnapStaleLSN uint64
+	Installed    uint64
+	Exec         time.Duration
+	Lock         time.Duration
+	Wait         time.Duration
+	Log          time.Duration
+	Latency      Histogram
 }
 
 // Breakdown returns the execute/lock/wait/log percentages of accounted
@@ -125,6 +143,15 @@ func (t Totals) AbortRate() float64 {
 		return 0
 	}
 	return float64(t.Aborted) / float64(att)
+}
+
+// SnapStaleness returns the mean snapshot lag behind the log tail in
+// LSNs across snapshot-served transactions, or 0 when none ran.
+func (t Totals) SnapStaleness() float64 {
+	if t.SnapTxns == 0 {
+		return 0
+	}
+	return float64(t.SnapStaleLSN) / float64(t.SnapTxns)
 }
 
 // Result is the outcome of one timed engine run.
@@ -151,6 +178,9 @@ func (r Result) String() string {
 		r.System, r.Throughput(), r.Totals.Committed, r.Totals.Aborted, e, l, w)
 	if r.Totals.Log > 0 {
 		s += fmt.Sprintf(" log=%4.1f%%", lg)
+	}
+	if r.Totals.SnapTxns > 0 {
+		s += fmt.Sprintf(" snap=%d", r.Totals.SnapTxns)
 	}
 	return s
 }

@@ -150,6 +150,12 @@ type Config struct {
 	// from the group-commit flusher in LSN order. Nil or Off = the
 	// paper's instant acknowledgment.
 	Wal *wal.Log
+	// Snapshot tunes the MVCC snapshot-read path, active when DB has
+	// versioned tables: ReadOnly transactions are then served inline on
+	// the execution thread at the commit frontier — zero CC messages,
+	// the purest form of the paper's separation argument (the CC plane
+	// never hears about read-only traffic at all).
+	Snapshot engine.SnapshotConfig
 }
 
 // CCStats is one CC thread's share of the message plane — the per-thread
@@ -282,6 +288,7 @@ type Engine struct {
 	msgs  MessageStats    // populated when a session closes
 	ctrl  ControllerStats // populated when a session closes
 	inUse engine.InUseGuard
+	clock engine.CommitClock // stamps versioned commits when Wal is off
 }
 
 // Messages returns the message-plane traffic of the last closed session
@@ -506,6 +513,7 @@ type session struct {
 
 	submit   chan engine.Submission
 	inflight engine.Gauge
+	snaps    *engine.Snapshots // MVCC snapshot tracker; nil without versioned tables
 	execStop atomic.Bool
 	closed   atomic.Bool
 	execWg   sync.WaitGroup
@@ -523,12 +531,14 @@ type session struct {
 // would race on the engine's message statistics. Sequential
 // Start→Close→Start reuse is supported — every Run does it.
 func (e *Engine) Start() engine.Session {
+	snaps := engine.NewSnapshots(e.cfg.DB, e.cfg.Wal, &e.clock, e.cfg.ExecThreads, e.cfg.Snapshot)
 	e.inUse.Acquire(e.Name())
 	ses := &session{
 		e:      e,
 		s:      e.newRunState(),
 		set:    metrics.NewSet(e.cfg.ExecThreads),
 		submit: make(chan engine.Submission, e.Clients()),
+		snaps:  snaps,
 		start:  time.Now(),
 	}
 	for c := 0; c < e.cfg.CCThreads; c++ {
@@ -652,6 +662,7 @@ type execThread struct {
 	stats *metrics.ThreadStats
 	ids   *engine.IDSource
 	ctx   engine.PlannedCtx
+	sctx  engine.SnapshotCtx
 
 	window   int
 	inflight int
@@ -694,7 +705,7 @@ func newExecThread(ses *session, id int, stats *metrics.ThreadStats) *execThread
 		id:        id,
 		stats:     stats,
 		ids:       engine.NewIDSource(id),
-		ctx:       engine.PlannedCtx{DB: cfg.DB, Stats: stats},
+		ctx:       engine.PlannedCtx{DB: cfg.DB, Stats: stats, Versions: engine.VersionedView(cfg.DB)},
 		window:    cfg.Inflight,
 		lastEpoch: ses.s.rt.Load().epoch,
 		batch:     cfg.BatchSize,
@@ -820,6 +831,24 @@ func (x *execThread) drainGrants() bool {
 // migration drain barrier can never miss a chain that goes on to acquire
 // locks under a superseded epoch.
 func (x *execThread) submit(t *txn.Txn, done func(bool), start time.Time) {
+	if t.ReadOnly && x.ses.snaps != nil {
+		// Snapshot fast path: served inline on this execution thread at
+		// the commit frontier. No planning, no chain, no CC messages —
+		// the CC plane never learns the transaction existed. The reads
+		// are already durable (the snapshot is the acked frontier), so
+		// the acknowledgment skips the WAL too.
+		s0 := time.Now()
+		x.ses.snaps.Exec(x.id, t, &x.sctx, x.stats)
+		d := time.Since(s0)
+		x.stats.AddExec(d)
+		x.logicTime += d
+		x.stats.Latency.Record(time.Since(start))
+		if done != nil {
+			done(true)
+		}
+		x.ses.inflight.Done()
+		return
+	}
 	// Declared ranges decompose into stripe (gap) lock ops here, before
 	// sorting: each stripe routes through the same two-level record →
 	// logical partition → CC thread mapping as a record lock, so a range
@@ -986,15 +1015,17 @@ func (x *execThread) finish(w *wrapper) {
 	locked := len(w.hops) > 0
 	if err == nil {
 		x.ctx.Commit()
+		// Seal the redo record — and install versioned after-images —
+		// before sending a single release: the LSN must order before any
+		// dependent transaction's, and dependents can only be granted
+		// after these releases. The append is a buffer write — the
+		// device I/O happens on the flusher — so the window slot frees
+		// immediately and CC threads never wait on a sync.
+		var ack func()
 		if x.wal != nil {
-			// Seal the redo record before sending a single release: the
-			// LSN must order before any dependent transaction's, and
-			// dependents can only be granted after these releases. The
-			// append is a buffer write — the device I/O happens on the
-			// flusher — so the window slot frees immediately and CC
-			// threads never wait on a sync.
-			x.wal.Commit(x.deferCommit(w))
+			ack = x.deferCommit(w)
 		}
+		engine.CommitVersions(x.wal, &x.ses.e.clock, &x.ctx.VSet, x.stats, ack)
 		x.release(w)
 		x.stats.Committed++
 		if locked {

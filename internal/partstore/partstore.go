@@ -50,6 +50,11 @@ type Config struct {
 	// Wal, when enabled, makes commit acknowledgment durable (redo append
 	// under the partition locks, acknowledgment from the flusher).
 	Wal *wal.Log
+	// Snapshot tunes the MVCC snapshot-read path, active when DB has
+	// versioned tables: ReadOnly transactions then acquire no partition
+	// locks at all — the one access class that escapes the H-Store
+	// multi-partition serialization collapse.
+	Snapshot engine.SnapshotConfig
 }
 
 // spinlock is a partition's test-and-set lock, padded to its own cache
@@ -80,6 +85,7 @@ type Engine struct {
 	cfg   Config
 	locks []spinlock
 	inUse engine.InUseGuard
+	clock engine.CommitClock // stamps versioned commits when Wal is off
 }
 
 // New validates the configuration and returns an engine.
@@ -108,15 +114,28 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 
 // Start implements engine.Runtime.
 func (e *Engine) Start() engine.Session {
+	snaps := engine.NewSnapshots(e.cfg.DB, e.cfg.Wal, &e.clock, e.cfg.Threads, e.cfg.Snapshot)
 	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
 		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn, *engine.Completion) {
 			ids := engine.NewIDSource(thread)
-			ctx := &execCtx{db: e.cfg.DB, stats: stats, pf: e.cfg.Partition}
+			ctx := &execCtx{db: e.cfg.DB, stats: stats, pf: e.cfg.Partition,
+				vts: engine.VersionedView(e.cfg.DB)}
 			if e.cfg.Wal.Enabled() {
 				ctx.wal = e.cfg.Wal.NewAppender(stats)
 			}
+			var sctx engine.SnapshotCtx
 			return func(t *txn.Txn, comp *engine.Completion) {
 				t.ID = ids.Next()
+				if t.ReadOnly && snaps != nil {
+					// Snapshot fast path: no partition footprint, no
+					// spinlocks — even a whole-table analytics scan runs
+					// without serializing a single partition.
+					start := time.Now()
+					snaps.Exec(thread, t, &sctx, stats)
+					stats.AddExec(time.Since(start))
+					comp.Finish(true)
+					return
+				}
 				e.execute(ctx, t, stats, comp)
 			}
 		})
@@ -149,12 +168,15 @@ func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats, c
 	if err := t.Logic(ctx); err != nil {
 		panic(fmt.Sprintf("partstore: transaction logic failed: %v", err))
 	}
-	// Seal the redo record while the partition locks are still held: a
-	// dependent transaction can only reach these partitions after the
-	// unlocks below, so its LSN orders after this one.
+	// Seal the redo record — and install versioned after-images — while
+	// the partition locks are still held: a dependent transaction can
+	// only reach these partitions after the unlocks below, so its LSN
+	// orders after this one.
+	var ack func()
 	if ctx.wal != nil {
-		ctx.wal.Commit(comp.Defer())
+		ack = comp.Defer()
 	}
+	engine.CommitVersions(ctx.wal, &e.clock, &ctx.vset, stats, ack)
 	t2 := time.Now()
 
 	for i := len(parts) - 1; i >= 0; i-- {
@@ -181,7 +203,9 @@ type execCtx struct {
 	wal   *wal.Appender
 	stats *metrics.ThreadStats
 	pf    txn.PartitionFunc
-	parts []int // partitions locked for the current transaction, ascending
+	parts []int                     // partitions locked for the current transaction, ascending
+	vts   []*storage.VersionedTable // VersionedView(DB); nil without versioned tables
+	vset  engine.VersionSet
 }
 
 // Read implements txn.Ctx.
@@ -193,14 +217,20 @@ func (c *execCtx) Read(table int, key uint64) ([]byte, error) {
 // noted for redo — there is no after-image to replay.
 func (c *execCtx) Write(table int, key uint64) ([]byte, error) {
 	rec := c.db.Table(table).Get(key)
-	if rec != nil && c.wal != nil {
-		c.wal.Note(table, key, rec)
+	if rec != nil {
+		if c.wal != nil {
+			c.wal.Note(table, key, rec)
+		}
+		c.vset.Note(c.vts, table, key)
 	}
 	return rec, nil
 }
 
 // Insert implements txn.Ctx.
 func (c *execCtx) Insert(table int, key uint64, value []byte) error {
+	if c.vts != nil && table < len(c.vts) && c.vts[table] != nil {
+		panic("partstore: in-transaction Insert on a versioned table (versioned layouts are fixed-size and load-populated)")
+	}
 	if err := c.db.Table(table).Insert(key, value); err != nil {
 		return err
 	}

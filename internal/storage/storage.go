@@ -52,6 +52,16 @@ type Layout struct {
 	// every new-key insert. Ignored for fixed tables (dense row spaces
 	// are ordered by construction).
 	Ordered bool
+	// Versioned gives each record a small version chain of committed
+	// images stamped with commit LSNs, enabling lock-free snapshot reads
+	// (see VersionedTable). Only fixed layouts can be versioned — a
+	// growable table's key population changes under shard latches the
+	// version protocol does not cover — so Versioned+Growable panics.
+	Versioned bool
+	// VersionDepth is the number of versions retained per record beyond
+	// what the snapshot watermark demands (0 → DefaultVersionDepth;
+	// negative panics). Ignored unless Versioned.
+	VersionDepth int
 }
 
 // Table is the access interface shared by both layouts.
@@ -348,6 +358,10 @@ func NewDB() *DB {
 func (db *DB) Create(l Layout) int {
 	var t Table
 	switch {
+	case l.Versioned && l.Growable:
+		panic(fmt.Sprintf("storage: table %s is Versioned+Growable; version chains require a fixed layout", l.Name))
+	case l.Versioned:
+		t = NewVersionedTable(l.Name, l.NumRecords, l.RecordSize, l.VersionDepth)
 	case l.Growable && l.Ordered:
 		t = NewOrderedGrowTable(l.Name, l.RecordSize, l.NumRecords)
 	case l.Growable:

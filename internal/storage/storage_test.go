@@ -195,6 +195,10 @@ func TestPoolConcurrent(t *testing.T) {
 	}
 }
 
+// TestSecondaryIndexAddLookup is a deliberate Lookup (not Each) caller:
+// it pins Lookup's copy contract, which only holds value because the
+// returned slice is the caller's to keep. All hot-path readers use the
+// allocation-free Each instead.
 func TestSecondaryIndexAddLookup(t *testing.T) {
 	ix := NewSecondaryIndex()
 	for _, pk := range []uint64{30, 10, 20, 10} { // dup 10 ignored
@@ -253,8 +257,10 @@ func TestSecondaryIndexVersionAndRemove(t *testing.T) {
 	if ix.Version() == v1 {
 		t.Fatal("Remove did not bump version")
 	}
-	if list, _ := ix.Lookup(7); len(list) != 0 {
-		t.Fatalf("after remove: %v", list)
+	left := 0
+	ix.Each(7, func(uint64) bool { left++; return true })
+	if left != 0 {
+		t.Fatalf("after remove: %d postings left", left)
 	}
 	ix.Remove(7, 99) // no-op removal of absent key must not bump
 	v2 := ix.Version()
@@ -274,16 +280,16 @@ func TestSecondaryIndexSortedProperty(t *testing.T) {
 			ix.Add(0, uint64(k))
 			seen[uint64(k)] = true
 		}
-		list, _ := ix.Lookup(0)
-		if len(list) != len(seen) {
-			return false
-		}
-		for i := 1; i < len(list); i++ {
-			if list[i-1] >= list[i] {
+		n, prev, sorted := 0, uint64(0), true
+		ix.Each(0, func(p uint64) bool {
+			if n > 0 && prev >= p {
+				sorted = false
 				return false
 			}
-		}
-		return true
+			n, prev = n+1, p
+			return true
+		})
+		return sorted && n == len(seen)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DefaultVersionDepth is the version-chain length kept per record when
+// Layout.VersionDepth is zero. Depth bounds how far behind the durable
+// frontier a snapshot can lag before pruning (the watermark) becomes the
+// only thing keeping its versions alive; 8 comfortably covers the
+// in-flight window of every engine here.
+const DefaultVersionDepth = 8
+
+// Version is one immutable committed record image in a chain ordered
+// newest-first by commit LSN. Nodes are never mutated after publication
+// (next is only ever cut to nil by pruning, never re-linked), so readers
+// walk chains with plain atomic loads and no locks.
+type Version struct {
+	lsn  uint64
+	data []byte
+	next atomic.Pointer[Version]
+}
+
+// LSN returns the commit LSN this version was installed with.
+func (v *Version) LSN() uint64 { return v.lsn }
+
+// VersionedTable wraps a FixedTable with a per-record version chain: the
+// arena row stays the engines' locked read/write image (newest,
+// possibly uncommitted under a writer's lock), while the chain holds
+// committed images stamped with their commit LSN. Read-only snapshot
+// transactions resolve records exclusively through the chain — never the
+// live arena bytes — so they observe a committed prefix without locks.
+//
+// Invariant: every row's chain is non-empty from construction onward (all
+// rows share one immutable zero-image base node until their first load
+// Insert or committed write), so a snapshot read can always resolve —
+// failure to find a version ≤ snapshot means the pruning watermark
+// protocol was violated and is a panic, not an error.
+type VersionedTable struct {
+	*FixedTable
+	chains    []atomic.Pointer[Version]
+	watermark atomic.Uint64
+	depth     int
+}
+
+// NewVersionedTable builds a versioned fixed table. depth is the number
+// of versions retained per record beyond what the watermark demands
+// (0 → DefaultVersionDepth); negative depth panics — a silent clamp
+// would hide a config typo that turns into unbounded memory or missing
+// history at run time.
+func NewVersionedTable(name string, numRecords uint64, recordSize int, depth int) *VersionedTable {
+	if depth < 0 {
+		panic(fmt.Sprintf("storage: table %s VersionDepth %d is negative", name, depth))
+	}
+	if depth == 0 {
+		depth = DefaultVersionDepth
+	}
+	t := &VersionedTable{
+		FixedTable: NewFixedTable(name, numRecords, recordSize),
+		chains:     make([]atomic.Pointer[Version], numRecords),
+		depth:      depth,
+	}
+	// Seed every chain with one shared zero-image base version (LSN 0 =
+	// "before any commit"). The node is immutable and only ever referenced,
+	// so sharing it across rows is safe and keeps an idle table at O(1)
+	// version memory.
+	base := &Version{lsn: 0, data: make([]byte, recordSize)}
+	for i := range t.chains {
+		t.chains[i].Store(base)
+	}
+	return t
+}
+
+// Insert implements Table: it is the load path (bulk population before
+// transactions run) and replaces the row's base version so snapshot
+// readers at LSN 0 see the loaded image, not zeroes. It is not safe
+// concurrently with transactions on the same key, matching FixedTable.
+func (t *VersionedTable) Insert(key uint64, value []byte) error {
+	if err := t.FixedTable.Insert(key, value); err != nil {
+		return err
+	}
+	base := &Version{lsn: 0, data: make([]byte, t.RecordSize())}
+	copy(base.data, value)
+	t.chains[key].Store(base)
+	return nil
+}
+
+// InstallVersion publishes the row's current arena bytes as the
+// committed image for lsn, pushing it onto the chain head and pruning
+// the tail. The caller must hold whatever logical lock made the arena
+// write exclusive (the engines call this at pre-commit, after logic and
+// undo-reset, before lock release) and must ensure — via WAL appender
+// mutex or CommitClock publication order — that no snapshot at or above
+// lsn can begin until InstallVersion returns.
+func (t *VersionedTable) InstallVersion(key, lsn uint64) {
+	n := &Version{lsn: lsn, data: make([]byte, t.RecordSize())}
+	copy(n.data, t.FixedTable.Get(key))
+	head := &t.chains[key]
+	n.next.Store(head.Load())
+	head.Store(n)
+
+	// Prune: keep nodes until both (a) depth nodes survive and (b) a node
+	// at or below the watermark survives — the newest such node is what a
+	// reader at the oldest active snapshot resolves to. Everything past
+	// that point is unreachable by any current or future snapshot.
+	w := t.watermark.Load()
+	kept, coveredW := 0, false
+	for cur := n; cur != nil; cur = cur.next.Load() {
+		kept++
+		if cur.lsn <= w {
+			coveredW = true
+		}
+		if kept >= t.depth && coveredW {
+			cur.next.Store(nil)
+			return
+		}
+	}
+}
+
+// SetWatermark publishes the oldest-active-snapshot LSN that future
+// prunes must preserve. The caller (engine.Snapshots) guarantees no
+// registered snapshot is older than w at the moment of each prune.
+func (t *VersionedTable) SetWatermark(w uint64) { t.watermark.Store(w) }
+
+// Watermark returns the last published prune watermark.
+func (t *VersionedTable) Watermark() uint64 { return t.watermark.Load() }
+
+// ReadVersion resolves key to the newest committed image with
+// LSN ≤ snap, plus the number of chain nodes traversed. The returned
+// slice is immutable version memory — safe to read without any lock. A
+// miss (no such version) means the watermark protocol failed to protect
+// an active snapshot and panics loudly rather than returning torn data.
+func (t *VersionedTable) ReadVersion(key, snap uint64) ([]byte, int) {
+	if key >= t.Len() {
+		return nil, 0
+	}
+	hops := 0
+	for cur := t.chains[key].Load(); cur != nil; cur = cur.next.Load() {
+		hops++
+		if cur.lsn <= snap {
+			return cur.data, hops
+		}
+	}
+	panic(fmt.Sprintf("storage: table %s key %d has no version ≤ snapshot %d (watermark %d pruned an active snapshot's history)",
+		t.Name(), key, snap, t.watermark.Load()))
+}
+
+// ScanVersions walks keys in [lo, hi) in ascending order, resolving each
+// through its version chain at snap, and returns the total chain hops.
+// Fixed tables admit no phantoms and version memory is immutable, so the
+// scan is consistent at snap with zero locks.
+func (t *VersionedTable) ScanVersions(lo, hi, snap uint64, fn func(key uint64, rec []byte) bool) int {
+	if hi > t.Len() {
+		hi = t.Len()
+	}
+	hops := 0
+	for key := lo; key < hi; key++ {
+		rec, h := t.ReadVersion(key, snap)
+		hops += h
+		if !fn(key, rec) {
+			break
+		}
+	}
+	return hops
+}

@@ -189,6 +189,16 @@ type Txn struct {
 	// call it when an access returns ErrEstimateMiss. Nil for
 	// transactions whose access sets are exact by construction.
 	Replan func(*Txn)
+	// ReadOnly declares the transaction write-free. Engines whose
+	// database has versioned tables serve it from an immutable MVCC
+	// snapshot — zero locks, zero CC messages, no gap locks (see
+	// internal/engine Snapshots); engines without versioned tables fall
+	// back to the ordinary locking path, so the flag is always safe to
+	// set on a transaction that performs no writes. Declared Ops/Ranges
+	// are ignored on the snapshot path (the snapshot is immutable, so no
+	// footprint is needed) but should still describe the reads for the
+	// locking fallback.
+	ReadOnly bool
 
 	// engine scratch, reset by engines between runs
 	Pending int32 // ORTHRUS: locks not yet granted at the current CC thread

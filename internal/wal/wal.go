@@ -486,9 +486,22 @@ func (a *Appender) Abort() { a.writes = a.writes[:0] }
 // its locks: the LSN order is the committed-prefix order only because
 // conflicting transactions are serialized across this call by the locks
 // they contend on.
-func (a *Appender) Commit(fn func()) {
+func (a *Appender) Commit(fn func()) { a.CommitWith(nil, fn) }
+
+// CommitWith is Commit with a version-install hook: when install is
+// non-nil it runs synchronously with the assigned LSN while the record
+// is still unstealable — inside the appender mutex, before the flusher
+// can collect it — so the durable frontier (the snapshot point for
+// read-only transactions) cannot reach this LSN before its versions are
+// installed. install must not block and must not call back into the log.
+// A commit with no captured writes has no LSN to stamp, so a non-nil
+// install there panics — versioned writers always capture after-images.
+func (a *Appender) CommitWith(install func(lsn uint64), fn func()) {
 	l := a.log
 	if len(a.writes) == 0 {
+		if install != nil {
+			panic("wal: CommitWith install hook on a commit with no captured writes")
+		}
 		tail := l.nextLSN.Load()
 		if l.policy.Mode != SyncGroup || tail <= l.durableLSN.Load() {
 			if fn != nil {
@@ -512,6 +525,9 @@ func (a *Appender) Commit(fn func()) {
 	a.mu.Lock()
 	lsn := l.nextLSN.Add(1)
 	a.buf = appendRecord(a.buf, lsn, a.writes)
+	if install != nil {
+		install(lsn)
+	}
 	if inline {
 		a.acks = append(a.acks, ack{lsn: lsn})
 	} else {

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/txn"
+)
+
+// Analytics generates long read-only range scans — the analytical half
+// of an HTAP mix, run concurrently with a write workload (Transfer or
+// YCSB RMW) by the htap harness experiment.
+//
+// Two access paths, selected by Snapshot:
+//
+//   - Snapshot=false (locking baseline): the scan declares a covering
+//     RangeOp plus per-record Read ops, exactly like YCSB's scanTxn, and
+//     runs through the engine's phantom-safe locking scan. On a
+//     partitioned store the footprint covers every partition the range
+//     touches — a whole-table scan serializes the whole store.
+//   - Snapshot=true: the transaction is flagged txn.Txn.ReadOnly and
+//     declares only the RangeOp; engines with a versioned table serve it
+//     from an immutable MVCC snapshot with zero locks. It must only be
+//     run against a versioned table (the planned engines' fallback would
+//     miss the undeclared per-record ops).
+type Analytics struct {
+	Table      int
+	NumRecords uint64
+	// ScanLen is the records per scan, in [1, NumRecords].
+	ScanLen int
+	// Snapshot selects the MVCC snapshot path (see above).
+	Snapshot bool
+}
+
+// Validate checks configuration consistency.
+func (c *Analytics) Validate() error {
+	if c.ScanLen < 1 || uint64(c.ScanLen) > c.NumRecords {
+		return fmt.Errorf("workload: Analytics ScanLen %d out of range [1, NumRecords=%d]", c.ScanLen, c.NumRecords)
+	}
+	return nil
+}
+
+// Next implements Source.
+func (c *Analytics) Next(_ int, rng *rand.Rand) *txn.Txn {
+	n := uint64(c.ScanLen)
+	lo := uint64(rng.Int63n(int64(c.NumRecords - n + 1)))
+	hi := lo + n
+	t := &txn.Txn{
+		Ranges:   []txn.RangeOp{{Table: c.Table, Lo: lo, Hi: hi, Mode: txn.Read}},
+		ReadOnly: c.Snapshot,
+	}
+	if !c.Snapshot {
+		ops := make([]txn.Op, 0, n)
+		for k := lo; k < hi; k++ {
+			ops = append(ops, txn.Op{Table: c.Table, Key: k, Mode: txn.Read})
+		}
+		t.Ops = ops
+	}
+	t.Logic = func(ctx txn.Ctx) error {
+		var sink uint64
+		rows := 0
+		err := ctx.Scan(c.Table, lo, hi, func(_ uint64, rec []byte) error {
+			sink += getU64(rec)
+			rows++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Defeat dead-code elimination. The usual sink == ^uint64(0) guard
+		// would misfire here: the concurrent write mix (Transfer) drives
+		// record values through the full uint64 range, so any sum value is
+		// reachable. rows < 0 is not.
+		if rows < 0 {
+			return fmt.Errorf("workload: impossible checksum %d", sink)
+		}
+		return nil
+	}
+	return t
+}

@@ -39,8 +39,19 @@ type YCSB struct {
 	NumRecords uint64
 	// OpsPerTxn is the access count per transaction (paper: 10).
 	OpsPerTxn int
-	// ReadOnly selects 10-read transactions instead of 10-RMW.
+	// ReadOnly selects 10-read transactions instead of 10-RMW. These
+	// keep the paper's locking read path (Figures 1 and 11 measure
+	// exactly the physical contention of lock-acquiring reads), unlike
+	// ReadOnlyPct below.
 	ReadOnly bool
+	// ReadOnlyPct marks this percentage of point transactions
+	// txn.Txn.ReadOnly: pure read bodies served from an MVCC snapshot on
+	// engines whose table is versioned (Layout.Versioned) — zero locks,
+	// zero CC messages. The Ops are still declared as reads so engines
+	// without versioned tables run the same transaction on their
+	// ordinary locking path, which is what the read-mostly benchmarks
+	// compare against. Mutually exclusive with ReadOnly; range [0, 100].
+	ReadOnlyPct int
 	// HotRecords is the hot-set size; 0 means uniform (no hot set).
 	// Hot keys are [HotStart, HotStart+HotRecords), cold keys are the
 	// rest of the table.
@@ -117,6 +128,12 @@ func (c *YCSB) Validate() error {
 			return fmt.Errorf("workload: ZipfTheta does not support partition constraints (Spread)")
 		}
 	}
+	if c.ReadOnlyPct < 0 || c.ReadOnlyPct > 100 {
+		return fmt.Errorf("workload: ReadOnlyPct %d out of range [0, 100]", c.ReadOnlyPct)
+	}
+	if c.ReadOnlyPct > 0 && c.ReadOnly {
+		return fmt.Errorf("workload: ReadOnly and ReadOnlyPct are mutually exclusive (ReadOnly keeps the locking read path)")
+	}
 	if c.ScanPct < 0 || c.ScanPct > 100 {
 		return fmt.Errorf("workload: ScanPct %d out of range [0, 100]", c.ScanPct)
 	}
@@ -161,8 +178,15 @@ func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
 		return c.scanTxn(rng)
 	}
 
+	// A ReadOnlyPct draw flips the whole transaction to pure reads and
+	// flags it for the snapshot path (locking fallback keeps the Ops).
+	snapshot := c.ReadOnlyPct > 0 && rng.Intn(100) < c.ReadOnlyPct
+	if snapshot {
+		mode = txn.Read
+	}
+
 	if c.ZipfTheta > 1 {
-		t := &txn.Txn{Ops: c.zipfOps(rng, mode)}
+		t := &txn.Txn{Ops: c.zipfOps(rng, mode), ReadOnly: snapshot}
 		t.Logic = c.logic(t)
 		return t
 	}
@@ -212,7 +236,7 @@ func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
 		ops = append(ops, txn.Op{Table: c.Table, Key: key, Mode: mode})
 	}
 
-	t := &txn.Txn{Ops: ops, Partitions: parts}
+	t := &txn.Txn{Ops: ops, Partitions: parts, ReadOnly: snapshot}
 	t.Logic = c.logic(t)
 	return t
 }

@@ -448,3 +448,82 @@ func TestScanLogicSumsRange(t *testing.T) {
 		t.Fatalf("scans=%d reads=%d range=%v", ctx.scans, ctx.reads, r)
 	}
 }
+
+func TestReadOnlyPctValidation(t *testing.T) {
+	bad := []*YCSB{
+		{NumRecords: 1000, OpsPerTxn: 10, ReadOnlyPct: -1},
+		{NumRecords: 1000, OpsPerTxn: 10, ReadOnlyPct: 101},
+		{NumRecords: 1000, OpsPerTxn: 10, ReadOnlyPct: 50, ReadOnly: true}, // mutually exclusive
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	ok := &YCSB{NumRecords: 1000, OpsPerTxn: 10, ReadOnlyPct: 95, HotRecords: 64, HotOps: 2}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyPctFlagsAndDeclares(t *testing.T) {
+	c := &YCSB{NumRecords: 1000, OpsPerTxn: 10, ReadOnlyPct: 50}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := newRand()
+	flagged := 0
+	for i := 0; i < 1000; i++ {
+		tx := c.Next(0, rng)
+		if !tx.ReadOnly {
+			continue
+		}
+		flagged++
+		// Snapshot-flagged transactions still declare their reads so
+		// engines without a versioned table can fall back to locking.
+		if len(tx.Ops) != 10 {
+			t.Fatalf("read-only txn declares %d ops", len(tx.Ops))
+		}
+		for _, op := range tx.Ops {
+			if op.Mode != txn.Read {
+				t.Fatalf("read-only txn declares %v", op)
+			}
+		}
+	}
+	if flagged < 400 || flagged > 600 {
+		t.Fatalf("flagged fraction = %d/1000, want ~500", flagged)
+	}
+	// Legacy ReadOnly keeps the locking path: never flagged.
+	legacy := &YCSB{NumRecords: 1000, OpsPerTxn: 10, ReadOnly: true}
+	for i := 0; i < 50; i++ {
+		if legacy.Next(0, rng).ReadOnly {
+			t.Fatal("YCSB.ReadOnly flagged a snapshot transaction")
+		}
+	}
+}
+
+func TestAnalyticsValidateAndShape(t *testing.T) {
+	for i, bad := range []*Analytics{
+		{NumRecords: 100, ScanLen: 0},
+		{NumRecords: 100, ScanLen: 101},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, bad)
+		}
+	}
+	rng := newRand()
+	snap := &Analytics{NumRecords: 100, ScanLen: 10, Snapshot: true}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tx := snap.Next(0, rng)
+	if !tx.ReadOnly || len(tx.Ops) != 0 || len(tx.Ranges) != 1 {
+		t.Fatalf("snapshot scan shape: ReadOnly=%v ops=%d ranges=%d", tx.ReadOnly, len(tx.Ops), len(tx.Ranges))
+	}
+	lock := &Analytics{NumRecords: 100, ScanLen: 10}
+	tx = lock.Next(0, rng)
+	r := tx.Ranges[0]
+	if tx.ReadOnly || uint64(len(tx.Ops)) != r.Hi-r.Lo || r.Hi > 100 {
+		t.Fatalf("locking scan shape: ReadOnly=%v ops=%d range=%v", tx.ReadOnly, len(tx.Ops), r)
+	}
+}

@@ -89,6 +89,19 @@ var (
 	AddI64 = storage.AddI64
 )
 
+// --- MVCC snapshot reads ----------------------------------------------------
+
+// SnapshotConfig tunes the MVCC snapshot-read machinery every engine
+// config embeds (field Snapshot): read-only transactions (Txn.ReadOnly)
+// on databases with versioned tables (Layout.Versioned) run against an
+// immutable snapshot with zero locks and zero CC-plane traffic. See
+// README.md "MVCC snapshot reads".
+type SnapshotConfig = engine.SnapshotConfig
+
+// Analytics generates long read-only range scans — the analytical half
+// of an HTAP mix; with Snapshot set the scans take the MVCC path.
+type Analytics = workload.Analytics
+
 // --- durability -------------------------------------------------------------
 
 // WAL is the redo-only write-ahead log every engine can commit through:
