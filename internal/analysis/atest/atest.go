@@ -1,0 +1,127 @@
+// Package atest is the golden-file test harness for orthrus-vet
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest
+// (which this module cannot depend on): each file under
+// testdata/src/<pkg> annotates the diagnostics it expects with
+//
+//	code() // want `regexp` `another regexp`
+//
+// comments. Run loads the package, applies the analyzer, and fails the
+// test on any unexpected diagnostic or unmatched expectation — so every
+// golden package asserts both that violations are caught and that clean
+// code stays clean.
+package atest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want((?:\\s+`[^`]*`)+)\\s*$")
+
+// expectation is one `// want` regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run applies the analyzer to each named package under dir/src and
+// checks its diagnostics against the `// want` comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, filepath.Join(dir, "src", pkg), a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	prog, err := analysis.LoadDir(".", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := prog.Run([]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						if strings.Contains(c.Text, "want `") {
+							t.Errorf("%s: malformed want comment: %s",
+								prog.Fset.Position(c.Pos()), c.Text)
+						}
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, w := range splitWants(m[1]) {
+						re, err := regexp.Compile(w)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, w, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, re: re,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d.Pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at the diagnostic's line
+// whose regexp matches, and reports whether one existed.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// splitWants extracts the backquoted regexps from the tail of a want
+// comment.
+func splitWants(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '`')
+		if i < 0 {
+			return out
+		}
+		s = s[i+1:]
+		j := strings.IndexByte(s, '`')
+		if j < 0 {
+			panic(fmt.Sprintf("atest: unterminated want regexp in %q", s))
+		}
+		out = append(out, s[:j])
+		s = s[j+1:]
+	}
+}

@@ -1,0 +1,115 @@
+// Package atomicfield enforces all-or-nothing atomic access: a struct
+// field that is passed by address to a sync/atomic function anywhere in
+// the program must be accessed through sync/atomic everywhere. A plain
+// read racing an atomic write is a data race the race detector only
+// catches when the schedule cooperates; this analyzer catches it at
+// build time, program-wide.
+//
+// The preferred fix is the typed atomics (atomic.Uint64 and friends),
+// which make mixed access unrepresentable — most of this repository
+// already uses them, and they need no analyzer. This pass covers the
+// remaining pattern: a plain-typed field used with atomic.LoadUint64/
+// StoreUint64/Add/Swap/CompareAndSwap via &s.field.
+//
+// Flagged accesses that are provably single-threaded (constructor
+// initialization before publication) carry //orthrus:allow(atomicfield)
+// with that justification. Taking a field's address outside an atomic
+// call is also flagged: once the address escapes, atomicity can no
+// longer be audited locally.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "atomicfield",
+	Doc:        "fields accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	RunProgram: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: collect fields that appear as &x.f arguments to
+	// sync/atomic calls, and the selector nodes of those sanctioned
+	// uses.
+	atomicFields := make(map[*types.Var]string) // field → example atomic op
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.Callee(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op.String() != "&" {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if field := fieldOf(pkg.Info, sel); field != nil {
+						atomicFields[field] = fn.Name()
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields is a violation.
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				field := fieldOf(pkg.Info, sel)
+				if field == nil {
+					return true
+				}
+				if op, ok := atomicFields[field]; ok {
+					pass.Reportf(sel.Pos(),
+						"plain access to field %s.%s, which is accessed with atomic.%s elsewhere; mixed plain/atomic access is a data race",
+						fieldOwner(field), field.Name(), op)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// fieldOf resolves sel to a struct-field object, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// fieldOwner names the struct a field belongs to, best-effort, for
+// diagnostics.
+func fieldOwner(f *types.Var) string {
+	if f.Pkg() != nil {
+		return f.Pkg().Name()
+	}
+	return "?"
+}

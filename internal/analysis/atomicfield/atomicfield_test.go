@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	atest.Run(t, "testdata", atomicfield.Analyzer, "a", "clean")
+}

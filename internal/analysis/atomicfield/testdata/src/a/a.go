@@ -1,0 +1,39 @@
+// Package a exercises the atomicfield analyzer.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+	cold int
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) read() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counter) race() uint64 {
+	return c.hits // want `plain access to field a.hits, which is accessed with atomic.\w+ elsewhere`
+}
+
+func (c *counter) assign() {
+	c.hits = 0 // want `plain access to field a.hits`
+}
+
+// cold is never touched atomically: plain access is fine.
+func (c *counter) touchCold() int {
+	c.cold++
+	return c.cold
+}
+
+// Constructor-time plain access before publication, justified.
+func newCounter() *counter {
+	c := &counter{}
+	//orthrus:allow(atomicfield) testdata: pre-publication initialization, no concurrent readers yet
+	c.hits = 0
+	return c
+}

@@ -1,0 +1,20 @@
+// Package clean holds code the atomicfield analyzer must stay quiet on:
+// the typed atomics make mixed access unrepresentable, and fields never
+// touched atomically are unconstrained.
+package clean
+
+import "sync/atomic"
+
+type stats struct {
+	ops   atomic.Uint64
+	plain uint64
+}
+
+func (s *stats) bump() {
+	s.ops.Add(1)
+	s.plain++
+}
+
+func (s *stats) read() (uint64, uint64) {
+	return s.ops.Load(), s.plain
+}

@@ -1,0 +1,12 @@
+package configvalidate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/configvalidate"
+)
+
+func TestConfigValidate(t *testing.T) {
+	atest.Run(t, "testdata", configvalidate.Analyzer, "a", "clean")
+}

@@ -1,0 +1,32 @@
+// Package a exercises the configvalidate analyzer.
+package a
+
+// BadConfig has no Validate at all.
+type BadConfig struct { // want `exported config struct BadConfig has no Validate method`
+	Threads int
+}
+
+// NewBad builds from a config without validating it.
+func NewBad(cfg BadConfig) int { // want `constructor NewBad does not call BadConfig.Validate`
+	return cfg.Threads
+}
+
+// PartialConfig validates one knob and forgets the other.
+type PartialConfig struct {
+	Checked int
+	Missed  int // want `PartialConfig.Missed is a numeric knob not referenced in PartialConfig.Validate`
+}
+
+func (c PartialConfig) Validate() {
+	if c.Checked < 0 {
+		panic("a: Checked must not be negative")
+	}
+}
+
+// SkipConfig waves a knob through under a justified allow.
+type SkipConfig struct {
+	//orthrus:allow(configvalidate) testdata: every Weight value is legal and the struct predates Validate
+	Weight float64
+}
+
+func (c SkipConfig) Validate() {}

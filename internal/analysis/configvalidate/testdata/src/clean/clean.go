@@ -1,0 +1,56 @@
+// Package clean holds code the configvalidate analyzer must stay quiet
+// on.
+package clean
+
+// Config validates every numeric knob — one with a real check, one
+// explicitly waved through.
+type Config struct {
+	Threads int
+	Retries int
+	Name    string // non-numeric: not a knob
+}
+
+func (c Config) Validate() {
+	if c.Threads <= 0 {
+		panic("clean: Threads must be positive")
+	}
+	_ = c.Retries // every value is legal: <=0 means retry forever
+}
+
+// New calls Validate, directly.
+func New(cfg Config) int {
+	cfg.Validate()
+	return cfg.Threads
+}
+
+// NewForwarding passes the whole config onward; the callee owns
+// validation.
+func NewForwarding(cfg Config) int {
+	return New(cfg)
+}
+
+// EscapeConfig's Validate hands the receiver to a helper, which is
+// trusted to check everything.
+type EscapeConfig struct {
+	Depth int
+}
+
+func (c EscapeConfig) Validate() {
+	checkAll(c)
+}
+
+func checkAll(c EscapeConfig) {
+	if c.Depth < 0 {
+		panic("clean: Depth must not be negative")
+	}
+}
+
+// unexportedConfig is not part of the package's surface.
+type unexportedConfig struct {
+	Knob int
+}
+
+// Settings does not follow the *Config naming convention.
+type Settings struct {
+	Knob int
+}

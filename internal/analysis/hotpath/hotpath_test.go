@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	atest.Run(t, "testdata", hotpath.Analyzer, "a", "clean")
+}

@@ -1,0 +1,40 @@
+// Package clean holds hot-path code the analyzer must stay quiet on.
+package clean
+
+import "sync/atomic"
+
+type ring struct {
+	head, tail atomic.Uint64
+	buf        []int
+}
+
+// TryDequeue is lock-free polling — the canonical clean hot path.
+//
+//orthrus:hotpath
+func (r *ring) TryDequeue() (int, bool) {
+	head := r.head.Load()
+	if head >= r.tail.Load() {
+		return 0, false
+	}
+	v := r.buf[head&uint64(len(r.buf)-1)]
+	r.head.Store(head + 1)
+	return v, true
+}
+
+//orthrus:hotpath
+func drain(r *ring, wake chan struct{}) int {
+	n := 0
+	for {
+		v, ok := r.TryDequeue()
+		if !ok {
+			break
+		}
+		n += v
+		// Non-blocking wake: select with default.
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+	return n
+}

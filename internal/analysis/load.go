@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Packages are loaded the way a unitchecker would see them: the target
+// packages are parsed and type-checked from source (so analyzers get
+// full ASTs and type info), while their imports — the standard library
+// and, in dependency order, earlier targets — resolve through gc export
+// data produced by `go list -export`. Everything runs offline against
+// the local toolchain; the module has no external dependencies and this
+// loader adds none.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	GoFiles    []string
+}
+
+// goList runs `go list -e -export -deps -json` for patterns in dir and
+// returns the packages in dependency order (dependencies first — the
+// order go list guarantees, and the order source type-checking needs).
+func goList(dir string, patterns ...string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,Standard,Module,GoFiles",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// newImporter builds the two-level importer: source-checked target
+// packages first, gc export data for everything else.
+func newImporter(fset *token.FileSet, exports map[string]string, srcPkgs map[string]*types.Package) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if f, ok := exports[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	base := importer.ForCompiler(fset, "gc", lookup)
+	return importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := srcPkgs[path]; ok {
+			return p, nil
+		}
+		return base.Import(path)
+	})
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// LoadPackages loads and type-checks the module packages matching
+// patterns, resolving relative to dir (any directory inside the
+// module). Standard-library dependencies come from export data; module
+// packages are checked from source in dependency order.
+func LoadPackages(dir string, patterns ...string) (*Program, error) {
+	pkgs, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	srcPkgs := make(map[string]*types.Package)
+	imp := newImporter(fset, exports, srcPkgs)
+	prog := &Program{Fset: fset}
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		if p.Name == "" || len(p.GoFiles) == 0 {
+			return nil, fmt.Errorf("analysis: package %s did not load (run `go build %s` for details)", p.ImportPath, p.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", p.ImportPath, err)
+		}
+		srcPkgs[p.ImportPath] = tpkg
+		prog.Packages = append(prog.Packages, &Package{
+			Path:  p.ImportPath,
+			Types: tpkg,
+			Info:  info,
+			Files: files,
+		})
+	}
+	prog.index()
+	return prog, nil
+}
+
+// LoadDir loads a single loose package from every .go file directly
+// under dir — the analysistest path: golden testdata directories are
+// not part of the module's package graph, so they are parsed in place
+// and their (standard library) imports resolve via export data listed
+// from moduleDir.
+func LoadDir(moduleDir, dir string) (*Program, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+		names = append(names, e.Name())
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	sort.Sort(&fileSorter{files, names})
+
+	importSet := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			importSet[importPathOf(imp)] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		patterns := make([]string, 0, len(importSet))
+		for p := range importSet {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		pkgs, err := goList(moduleDir, patterns...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := newImporter(fset, exports, nil)
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", dir, err)
+	}
+	prog := &Program{Fset: fset}
+	prog.Packages = append(prog.Packages, &Package{
+		Path:  files[0].Name.Name,
+		Types: tpkg,
+		Info:  info,
+		Files: files,
+	})
+	prog.index()
+	return prog, nil
+}
+
+func importPathOf(spec *ast.ImportSpec) string {
+	p := spec.Path.Value
+	return p[1 : len(p)-1] // strip quotes
+}
+
+// fileSorter keeps parsed files in deterministic (file name) order.
+type fileSorter struct {
+	files []*ast.File
+	names []string
+}
+
+func (s *fileSorter) Len() int           { return len(s.files) }
+func (s *fileSorter) Less(i, j int) bool { return s.names[i] < s.names[j] }
+func (s *fileSorter) Swap(i, j int) {
+	s.files[i], s.files[j] = s.files[j], s.files[i]
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+}

@@ -1,0 +1,276 @@
+// Package lockorder enforces the repository's total lock order, the
+// invariant PR 5 introduced with stripe (gap) locks: within a table,
+// every record key sorts before every stripe key (bit 63 set), so any
+// code path that acquires locks must take record keys before stripe
+// keys, and declared-set acquisition loops must iterate keys in the
+// globally sorted order (txn.SortOps).
+//
+// Two rules, both per function body:
+//
+//  1. Record-after-stripe: once a function acquires a stripe-classified
+//     key (an expression built from StripeKey/StripeSpan/StripeFlag or
+//     any constant with bit 63 set, tracked through local assignments),
+//     any acquisition of a record-classified key later in source order
+//     is flagged. A loop containing a stripe acquisition counts as
+//     stripe-acquiring from the top of the loop, so a loop body that
+//     takes both kinds is flagged regardless of intra-body order (the
+//     iterations interleave them). The rule is deliberately
+//     branch-insensitive — mutually exclusive branches still flag —
+//     because a false negative here costs a deadlock in production and
+//     a false positive costs one //orthrus:allow(lockorder) line.
+//
+//  2. Unsorted acquisition loop: a `for ... range x.Ops` loop that
+//     acquires locks requires a preceding x.SortOps() call in the same
+//     function — a declared set is only in the global order after
+//     SortOps.
+//
+// An "acquisition" is any call to a function or method named Acquire or
+// acquire taking exactly one uint64-typed argument (the lock key),
+// which matches every acquisition site in this repository. Intentional
+// exceptions — dynamic 2PL acquires lazily in touch order and delegates
+// cycles to its deadlock handler — carry //orthrus:allow(lockorder)
+// with that justification.
+package lockorder
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisitions must follow the global order: record keys before bit-63 stripe keys, declared sets sorted",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// acq is one classified acquisition call site.
+type acq struct {
+	call   *ast.CallExpr
+	stripe bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	taint := stripeTaint(info, fd.Body)
+
+	var acqs []acq
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key := acquisitionKey(info, call); key != nil {
+			acqs = append(acqs, acq{call: call, stripe: exprIsStripe(info, taint, key)})
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+
+	// Rule 1: the function becomes "stripe-acquiring" at the earliest
+	// stripe acquisition — hoisted to the top of any loop containing
+	// one, since iterations re-execute it.
+	stripeFrom := token.Pos(-1)
+	for _, a := range acqs {
+		if !a.stripe {
+			continue
+		}
+		from := a.call.Pos()
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				if n.Pos() <= a.call.Pos() && a.call.End() <= n.End() && n.Pos() < from {
+					from = n.Pos()
+				}
+			}
+			return true
+		})
+		if stripeFrom == token.Pos(-1) || from < stripeFrom {
+			stripeFrom = from
+		}
+	}
+	if stripeFrom != token.Pos(-1) {
+		for _, a := range acqs {
+			if !a.stripe && a.call.Pos() > stripeFrom {
+				pass.Reportf(a.call.Pos(),
+					"record-key lock acquired after a stripe-key lock on the same path; the total lock order (record keys before bit-63 stripe keys) requires the reverse")
+			}
+		}
+	}
+
+	// Rule 2: range-over-Ops acquisition loops need a preceding
+	// SortOps on the same receiver.
+	checkOpsLoops(pass, fd, acqs)
+}
+
+func checkOpsLoops(pass *analysis.Pass, fd *ast.FuncDecl, acqs []acq) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(rng.X).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Ops" {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		acquires := false
+		for _, a := range acqs {
+			if rng.Pos() <= a.call.Pos() && a.call.End() <= rng.End() {
+				acquires = true
+				break
+			}
+		}
+		if !acquires {
+			return true
+		}
+		recv := info.ObjectOf(base)
+		sorted := false
+		ast.Inspect(fd.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || call.Pos() >= rng.Pos() {
+				return true
+			}
+			cs, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || cs.Sel.Name != "SortOps" {
+				return true
+			}
+			if id, ok := ast.Unparen(cs.X).(*ast.Ident); ok && info.ObjectOf(id) == recv && recv != nil {
+				sorted = true
+			}
+			return true
+		})
+		if !sorted {
+			pass.Reportf(rng.Pos(),
+				"lock acquisition loop over %s.Ops without a preceding %s.SortOps(); declared sets must be acquired in the global sorted order", base.Name, base.Name)
+		}
+		return true
+	})
+}
+
+// acquisitionKey returns the lock-key argument when call is an
+// acquisition: a call to a function or method named Acquire/acquire
+// with exactly one uint64-typed argument.
+func acquisitionKey(info *types.Info, call *ast.CallExpr) ast.Expr {
+	name := ""
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return nil
+	}
+	if name != "Acquire" && name != "acquire" {
+		return nil
+	}
+	var key ast.Expr
+	for _, arg := range call.Args {
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.Uint64 {
+			if key != nil {
+				return nil // ambiguous: not the shape of a lock acquisition
+			}
+			key = arg
+		}
+	}
+	return key
+}
+
+// stripeTaint computes, to a fixpoint, the local variables assigned
+// (directly or transitively) from stripe-key expressions.
+func stripeTaint(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	taint := make(map[types.Object]bool)
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			var lhs, rhs []ast.Expr
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				lhs, rhs = s.Lhs, s.Rhs
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					lhs = append(lhs, name)
+				}
+				rhs = s.Values
+			default:
+				return true
+			}
+			// Whole-RHS granularity: StripeSpan returns two stripe keys,
+			// so a tainted RHS taints every LHS variable.
+			tainted := false
+			for _, r := range rhs {
+				if exprIsStripe(info, taint, r) {
+					tainted = true
+				}
+			}
+			if !tainted {
+				return true
+			}
+			for _, l := range lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if obj := info.ObjectOf(id); obj != nil && !taint[obj] {
+					taint[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return taint
+		}
+	}
+}
+
+// exprIsStripe reports whether e is stripe-classified: it mentions
+// StripeKey/StripeSpan/StripeFlag, evaluates (anywhere in its subtree)
+// to a constant with bit 63 set, or reads a stripe-tainted local.
+func exprIsStripe(info *types.Info, taint map[types.Object]bool, e ast.Expr) bool {
+	stripe := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if n.Name == "StripeKey" || n.Name == "StripeSpan" || n.Name == "StripeFlag" {
+				stripe = true
+			}
+			if obj := info.ObjectOf(n); obj != nil && taint[obj] {
+				stripe = true
+			}
+		case ast.Expr:
+			if tv, ok := info.Types[n]; ok && tv.Value != nil {
+				if v, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact && v&(1<<63) != 0 {
+					stripe = true
+				}
+			}
+		}
+		return !stripe
+	})
+	return stripe
+}

@@ -1,0 +1,69 @@
+// Package a exercises the lockorder analyzer: the analyzer is
+// name-based, so local stand-ins for the txn package's stripe helpers
+// and the lock table's Acquire are enough to drive it.
+package a
+
+const StripeFlag uint64 = 1 << 63
+
+func StripeKey(key uint64) uint64 { return StripeFlag | key>>6 }
+
+func StripeSpan(lo, hi uint64) (first, last uint64) { return StripeKey(lo), StripeKey(hi - 1) }
+
+type table struct{}
+
+func (table) Acquire(key uint64, mode int) {}
+
+type op struct {
+	Key  uint64
+	Mode int
+}
+
+type decl struct{ Ops []op }
+
+func (*decl) SortOps() {}
+
+// Rule 1: a record-key acquisition after a stripe-key acquisition.
+func recordAfterStripe(tbl table, lo, hi uint64) {
+	first, last := StripeSpan(lo, hi)
+	for s := first; s <= last; s++ {
+		tbl.Acquire(s, 0)
+	}
+	tbl.Acquire(lo, 0) // want `record-key lock acquired after a stripe-key lock`
+}
+
+// Rule 1, constant form: a literal with bit 63 set is a stripe key.
+func recordAfterConstStripe(tbl table, key uint64) {
+	tbl.Acquire(1<<63|42, 0)
+	tbl.Acquire(key, 0) // want `record-key lock acquired after a stripe-key lock`
+}
+
+// Rule 1, loop hoisting: a loop body that takes both kinds is flagged
+// even with the record acquisition textually first — iterations
+// interleave them.
+func mixedLoop(tbl table, keys []uint64) {
+	for _, k := range keys {
+		tbl.Acquire(k, 0) // want `record-key lock acquired after a stripe-key lock`
+		tbl.Acquire(StripeKey(k), 0)
+	}
+}
+
+// Rule 2: acquiring over a declared set without sorting it first.
+func unsortedLoop(tbl table, t *decl) {
+	for _, o := range t.Ops { // want `acquisition loop over t.Ops without a preceding t.SortOps`
+		tbl.Acquire(o.Key, o.Mode)
+	}
+}
+
+// A justified suppression keeps the diagnostic quiet.
+func allowed(tbl table, lo, hi uint64) {
+	tbl.Acquire(StripeKey(lo), 0)
+	//orthrus:allow(lockorder) testdata: lazy acquisition, deadlock handler resolves inversions
+	tbl.Acquire(lo, 0)
+}
+
+// A bare suppression is itself a diagnostic.
+func bareAllow(tbl table, lo uint64) {
+	tbl.Acquire(StripeKey(lo), 0)
+	//orthrus:allow(lockorder)
+	tbl.Acquire(lo, 0) // want `orthrus:allow\(lockorder\) requires a reason`
+}

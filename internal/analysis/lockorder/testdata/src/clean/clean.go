@@ -1,0 +1,56 @@
+// Package clean holds code the lockorder analyzer must stay quiet on.
+package clean
+
+const StripeFlag uint64 = 1 << 63
+
+func StripeKey(key uint64) uint64 { return StripeFlag | key>>6 }
+
+func StripeSpan(lo, hi uint64) (first, last uint64) { return StripeKey(lo), StripeKey(hi - 1) }
+
+type table struct{}
+
+func (table) Acquire(key uint64, mode int) {}
+
+type op struct {
+	Key  uint64
+	Mode int
+}
+
+type decl struct{ Ops []op }
+
+func (*decl) SortOps() {}
+
+// Records before stripes is the sanctioned order.
+func recordsThenStripes(tbl table, lo, hi uint64) {
+	tbl.Acquire(lo, 0)
+	first, last := StripeSpan(lo, hi)
+	for s := first; s <= last; s++ {
+		tbl.Acquire(s, 0)
+	}
+}
+
+// A sorted declared-set loop is the sanctioned acquisition loop.
+func sortedLoop(tbl table, t *decl) {
+	t.SortOps()
+	for _, o := range t.Ops {
+		tbl.Acquire(o.Key, o.Mode)
+	}
+}
+
+// Stripe-only acquisition has nothing to order against.
+func stripesOnly(tbl table, lo, hi uint64) {
+	first, last := StripeSpan(lo, hi)
+	for s := first; s <= last; s++ {
+		tbl.Acquire(s, 0)
+	}
+}
+
+// Two-uint64 calls named Acquire are not lock acquisitions.
+type span struct{}
+
+func (span) Acquire(lo, hi uint64) {}
+
+func notAnAcquisition(s span, lo, hi uint64) {
+	s.Acquire(StripeKey(lo), StripeKey(hi))
+	s.Acquire(lo, hi)
+}

@@ -1,0 +1,96 @@
+// Package panicmsg enforces greppable panics: this codebase treats
+// panics as loud configuration/invariant failures (config validation,
+// WAL corruption outside recovery, lock-table misuse), so every panic
+// whose argument starts with a string literal must prefix that literal
+// with the package name and a colon — `panic("wal: torn record past
+// committed prefix")` — making the failing subsystem identifiable from
+// the first line of the crash.
+//
+// Checked literal positions: a plain string literal argument, the
+// leftmost operand of a `+` concatenation chain, and the format
+// argument of fmt.Sprintf/fmt.Errorf. Panics whose argument is a
+// non-literal value (an error variable, a recovered value being
+// re-raised) are not the analyzer's business and are skipped.
+package panicmsg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the panicmsg pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicmsg",
+	Doc:  "panic messages that start with a string literal must carry a `package: ` prefix",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkgName := pass.Pkg.Types.Name()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+				if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+					return true // shadowed: a user-defined panic, not the builtin
+				}
+			}
+			lit := headLiteral(call.Args[0])
+			if lit == nil {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !strings.HasPrefix(s, pkgName+": ") {
+				pass.Reportf(lit.Pos(),
+					"panic message %q must start with %q so crashes identify the failing subsystem", s, pkgName+": ")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// headLiteral returns the string literal that will head the panic
+// message, or nil when the argument does not start with one: a plain
+// literal, the leftmost operand of a + chain, or the format argument of
+// fmt.Sprintf / fmt.Errorf.
+func headLiteral(e ast.Expr) *ast.BasicLit {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.STRING {
+			return e
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return headLiteral(e.X)
+		}
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+		if !ok || len(e.Args) == 0 {
+			return nil
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || base.Name != "fmt" {
+			return nil
+		}
+		if sel.Sel.Name == "Sprintf" || sel.Sel.Name == "Errorf" || sel.Sel.Name == "Sprint" {
+			return headLiteral(e.Args[0])
+		}
+	}
+	return nil
+}

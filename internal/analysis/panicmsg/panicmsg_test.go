@@ -1,0 +1,12 @@
+package panicmsg_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/panicmsg"
+)
+
+func TestPanicMsg(t *testing.T) {
+	atest.Run(t, "testdata", panicmsg.Analyzer, "a", "clean")
+}

@@ -1,0 +1,40 @@
+// Package a exercises the panicmsg analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+func bare() {
+	panic("boom") // want `panic message "boom" must start with "a: "`
+}
+
+func formatted(n int) {
+	panic(fmt.Sprintf("bad count %d", n)) // want `must start with "a: "`
+}
+
+func concatenated(detail string) {
+	panic("broken: " + detail) // want `must start with "a: "`
+}
+
+func prefixed() {
+	panic("a: invariant violated")
+}
+
+func prefixedFormat(n int) {
+	panic(fmt.Sprintf("a: bad count %d", n))
+}
+
+func nonLiteral() {
+	panic(errors.New("not the analyzer's business"))
+}
+
+func rethrow(v interface{}) {
+	panic(v)
+}
+
+func allowed() {
+	//orthrus:allow(panicmsg) testdata: message spelled by an external contract
+	panic("EXACT-WIRE-FORMAT")
+}

@@ -1,0 +1,18 @@
+// Package clean holds code the panicmsg analyzer must stay quiet on.
+package clean
+
+import "fmt"
+
+func checked(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("clean: n must not be negative (got %d)", n))
+	}
+}
+
+func invariant() {
+	panic("clean: unreachable state")
+}
+
+func concatenated(detail string) {
+	panic("clean: " + detail)
+}

@@ -57,11 +57,21 @@ type Engine struct {
 	clock engine.CommitClock // stamps versioned commits when Wal is off
 }
 
-// New builds the engine.
-func New(cfg Config) *Engine {
-	if cfg.Threads <= 0 {
+// Validate panics on nonsensical knobs. Zero values that mean "use the
+// default" pass; New fills them afterwards.
+func (c Config) Validate() {
+	if c.Threads <= 0 {
 		panic("dlfree: Threads must be positive")
 	}
+	if c.Buckets < 0 {
+		panic(fmt.Sprintf("dlfree: Buckets must not be negative (got %d; 0 means default)", c.Buckets))
+	}
+	c.Snapshot.Validate()
+}
+
+// New builds the engine.
+func New(cfg Config) *Engine {
+	cfg.Validate()
 	buckets := cfg.Buckets
 	if buckets == 0 {
 		buckets = 1 << 16

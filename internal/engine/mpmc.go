@@ -106,6 +106,8 @@ const (
 )
 
 // Wait backs off once; call it per failed poll.
+//
+//orthrus:coldpath idle backoff: reached only when a poll made no progress, and the sleep is the whole point — an idle session must not pin a core
 func (w *IdleWaiter) Wait() {
 	if w.idleSince.IsZero() {
 		w.idleSince = time.Now()

@@ -97,6 +97,13 @@ type SnapshotConfig struct {
 
 const defaultPruneEvery = 64
 
+// Validate panics on a negative PruneEvery (zero means the default).
+func (c SnapshotConfig) Validate() {
+	if c.PruneEvery < 0 {
+		panic(fmt.Sprintf("engine: SnapshotConfig.PruneEvery %d is negative", c.PruneEvery))
+	}
+}
+
 // snapSlot is one worker's active-snapshot announcement, padded so
 // concurrent Begin/End on different workers never false-share.
 type snapSlot struct {
@@ -156,9 +163,7 @@ func VersionedView(db *storage.DB) []*storage.VersionedTable {
 // db has no versioned tables (the engine then has no snapshot path and
 // ReadOnly transactions fall back to its locking path).
 func NewSnapshots(db *storage.DB, log *wal.Log, clock *CommitClock, workers int, cfg SnapshotConfig) *Snapshots {
-	if cfg.PruneEvery < 0 {
-		panic(fmt.Sprintf("engine: SnapshotConfig.PruneEvery %d is negative", cfg.PruneEvery))
-	}
+	cfg.Validate()
 	byID := VersionedView(db)
 	if byID == nil {
 		return nil

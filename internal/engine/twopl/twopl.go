@@ -55,11 +55,22 @@ type Engine struct {
 	clock engine.CommitClock // stamps versioned commits when Wal is off
 }
 
-// New builds the engine and its shared lock table.
-func New(cfg Config) *Engine {
-	if cfg.Threads <= 0 {
+// Validate panics on nonsensical knobs. Zero values that mean "use the
+// default" pass; New fills them afterwards.
+func (c Config) Validate() {
+	if c.Threads <= 0 {
 		panic("twopl: Threads must be positive")
 	}
+	if c.Buckets < 0 {
+		panic(fmt.Sprintf("twopl: Buckets must not be negative (got %d; 0 means default)", c.Buckets))
+	}
+	_ = c.MaxRetries // every value is legal: <=0 means retry until commit
+	c.Snapshot.Validate()
+}
+
+// New builds the engine and its shared lock table.
+func New(cfg Config) *Engine {
+	cfg.Validate()
 	buckets := cfg.Buckets
 	if buckets == 0 {
 		buckets = DefaultBuckets
@@ -284,6 +295,11 @@ func (c *execCtx) Scan(table int, lo, hi uint64, fn func(key uint64, rec []byte)
 	}
 	var err error
 	tbl.Scan(lo, hi, func(key uint64, rec []byte) bool {
+		// The stripe-then-record inversion below is deliberate: dynamic 2PL
+		// acquires lazily in touch order, so this is the same wait-for edge
+		// any lazy acquisition can create, and the configured deadlock
+		// handler (wait-die / no-wait / detection) resolves it.
+		//orthrus:allow(lockorder) lazy 2PL acquires in touch order; the deadlock handler resolves inversions
 		if _, err = c.acquire(table, key, txn.Read); err != nil {
 			return false
 		}

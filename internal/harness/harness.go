@@ -59,7 +59,33 @@ type Config struct {
 // is not a plain series table. No-op unless JSON recording is on.
 func (c Config) JSONRow(row map[string]interface{}) { c.json.emit(row) }
 
-// Defaults fills zero fields with laptop-scale values.
+// Validate panics on out-of-range knobs. The scale knobs (Duration,
+// Records, RecordSize, MaxThreads, TPCCItems, TPCCCustomers) accept any
+// value — zero means "use the default", which Defaults fills before
+// validating.
+func (c Config) Validate() {
+	_ = c.Duration   // <=0 means default
+	_ = c.Records    // 0 means default
+	_ = c.RecordSize // 0 means default
+	_ = c.MaxThreads // 0 means default
+	_ = c.TPCCItems  // 0 means default (tpcc.Load re-checks its own scale)
+	_ = c.TPCCCustomers
+	if c.ScanPct < 0 || c.ScanPct > 100 {
+		panic(fmt.Sprintf("harness: ScanPct %d out of range [0, 100] (0 means sweep)", c.ScanPct))
+	}
+	if c.ScanMaxLen < 0 || uint64(c.ScanMaxLen) > c.Records {
+		panic(fmt.Sprintf("harness: ScanMaxLen %d out of range [0, Records=%d] (0 means sweep)", c.ScanMaxLen, c.Records))
+	}
+	if c.ReadOnlyPct < 0 || c.ReadOnlyPct > 100 {
+		panic(fmt.Sprintf("harness: ReadOnlyPct %d out of range [0, 100] (0 means default)", c.ReadOnlyPct))
+	}
+	if c.Out == nil {
+		panic("harness: Config.Out must be set")
+	}
+}
+
+// Defaults fills zero fields with laptop-scale values and validates the
+// result.
 func (c Config) Defaults() Config {
 	if c.Duration <= 0 {
 		c.Duration = 300 * time.Millisecond
@@ -79,18 +105,7 @@ func (c Config) Defaults() Config {
 	if c.TPCCCustomers == 0 {
 		c.TPCCCustomers = 100
 	}
-	if c.ScanPct < 0 || c.ScanPct > 100 {
-		panic(fmt.Sprintf("harness: ScanPct %d out of range [0, 100] (0 means sweep)", c.ScanPct))
-	}
-	if c.ScanMaxLen < 0 || uint64(c.ScanMaxLen) > c.Records {
-		panic(fmt.Sprintf("harness: ScanMaxLen %d out of range [0, Records=%d] (0 means sweep)", c.ScanMaxLen, c.Records))
-	}
-	if c.ReadOnlyPct < 0 || c.ReadOnlyPct > 100 {
-		panic(fmt.Sprintf("harness: ReadOnlyPct %d out of range [0, 100] (0 means default)", c.ReadOnlyPct))
-	}
-	if c.Out == nil {
-		panic("harness: Config.Out must be set")
-	}
+	c.Validate()
 	return c
 }
 

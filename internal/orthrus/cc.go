@@ -325,6 +325,11 @@ func (c *ccThread) table(pid int32) ccTable {
 	return sh
 }
 
+// loop is the CC thread's drain loop — the latency-critical half of the
+// paper's separation: it must never block or touch I/O, only drain
+// rings, mutate its private lock shards, and publish grants.
+//
+//orthrus:hotpath
 func (c *ccThread) loop() {
 	defer c.ops.flush(c.s)
 	var idle engine.IdleWaiter
@@ -544,6 +549,8 @@ func (c *ccThread) releaseTxn(w *wrapper) {
 
 // handleCtrl executes one control-plane request on this thread, so shard
 // structures never have two owners.
+//
+//orthrus:coldpath migration control plane: a shard handoff happens per controller tick at most, and the controller is the only reply reader, so the blocking sends cannot stall the drain loop meaningfully
 func (c *ccThread) handleCtrl(m ccCtrl) {
 	switch m.kind {
 	case ctrlDetach:

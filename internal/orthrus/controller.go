@@ -98,14 +98,20 @@ type ControllerConfig struct {
 	ShrinkPatience int
 }
 
-// withDefaults validates the knobs and fills zeros. queueCap is the
-// engine's (already defaulted) ring capacity, which anchors the
-// backlog water marks.
-func (c ControllerConfig) withDefaults(queueCap int) ControllerConfig {
+// Validate panics on negative knobs (zero always means "use the
+// default" here, so negative is the only nonsensical shape).
+func (c ControllerConfig) Validate() {
 	if c.Interval < 0 || c.Slack < 0 || c.MaxMoves < 0 || c.MinSample < 0 ||
 		c.MinActive < 0 || c.GrowWater < 0 || c.ShrinkWater < 0 || c.ShrinkPatience < 0 {
 		panic(fmt.Sprintf("orthrus: ControllerConfig knobs must not be negative (got %+v; 0 means default)", c))
 	}
+}
+
+// withDefaults validates the knobs and fills zeros. queueCap is the
+// engine's (already defaulted) ring capacity, which anchors the
+// backlog water marks.
+func (c ControllerConfig) withDefaults(queueCap int) ControllerConfig {
+	c.Validate()
 	if c.Interval == 0 {
 		c.Interval = 2 * time.Millisecond
 	}

@@ -299,27 +299,34 @@ func (e *Engine) Messages() MessageStats { return e.msgs }
 // last closed session (zero when the controller was disabled).
 func (e *Engine) ControllerStats() ControllerStats { return e.ctrl }
 
-// New validates the configuration and returns an engine. Negative values
-// for fields whose zero value means "use the default" (QueueCap,
-// Inflight, BatchSize, LogicalPartitions, and the controller's knobs) are
-// rejected here with a clear panic rather than surfacing as a hang or an
-// index fault deep inside ring or table construction.
-func New(cfg Config) *Engine {
-	if cfg.CCThreads <= 0 || cfg.ExecThreads <= 0 {
+// Validate panics on nonsensical knobs: thread counts must be positive,
+// and fields whose zero value means "use the default" (QueueCap,
+// Inflight, BatchSize, LogicalPartitions, and the controller's knobs)
+// are rejected when negative with a clear panic rather than surfacing as
+// a hang or an index fault deep inside ring or table construction.
+func (c Config) Validate() {
+	if c.CCThreads <= 0 || c.ExecThreads <= 0 {
 		panic("orthrus: CCThreads and ExecThreads must be positive")
 	}
-	if cfg.QueueCap < 0 {
-		panic(fmt.Sprintf("orthrus: QueueCap must not be negative (got %d; 0 means default)", cfg.QueueCap))
+	if c.QueueCap < 0 {
+		panic(fmt.Sprintf("orthrus: QueueCap must not be negative (got %d; 0 means default)", c.QueueCap))
 	}
-	if cfg.Inflight < 0 {
-		panic(fmt.Sprintf("orthrus: Inflight must not be negative (got %d; 0 means default)", cfg.Inflight))
+	if c.Inflight < 0 {
+		panic(fmt.Sprintf("orthrus: Inflight must not be negative (got %d; 0 means default)", c.Inflight))
 	}
-	if cfg.BatchSize < 0 {
-		panic(fmt.Sprintf("orthrus: BatchSize must not be negative (got %d; 0 means default)", cfg.BatchSize))
+	if c.BatchSize < 0 {
+		panic(fmt.Sprintf("orthrus: BatchSize must not be negative (got %d; 0 means default)", c.BatchSize))
 	}
-	if cfg.LogicalPartitions < 0 {
-		panic(fmt.Sprintf("orthrus: LogicalPartitions must not be negative (got %d; 0 means default)", cfg.LogicalPartitions))
+	if c.LogicalPartitions < 0 {
+		panic(fmt.Sprintf("orthrus: LogicalPartitions must not be negative (got %d; 0 means default)", c.LogicalPartitions))
 	}
+	c.Controller.Validate()
+	c.Snapshot.Validate()
+}
+
+// New validates the configuration and returns an engine.
+func New(cfg Config) *Engine {
+	cfg.Validate()
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = DefaultQueueCap
 	}
@@ -719,6 +726,12 @@ func newExecThread(ses *session, id int, stats *metrics.ThreadStats) *execThread
 	return x
 }
 
+// loop is the execution thread's main loop: admit submissions, run
+// transaction logic, pipeline redo into the WAL's append buffers, and
+// exchange messages with the CC plane — all without blocking or I/O
+// (the group-commit flusher does the writing).
+//
+//orthrus:hotpath
 func (x *execThread) loop() {
 	defer x.ops.flush(x.s)
 	var idle engine.IdleWaiter

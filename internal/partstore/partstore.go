@@ -88,11 +88,19 @@ type Engine struct {
 	clock engine.CommitClock // stamps versioned commits when Wal is off
 }
 
-// New validates the configuration and returns an engine.
-func New(cfg Config) *Engine {
-	if cfg.Partitions <= 0 {
+// Validate panics on nonsensical knobs. Threads <= 0 passes — it means
+// "one worker per partition" and New fills it.
+func (c Config) Validate() {
+	if c.Partitions <= 0 {
 		panic("partstore: Partitions must be positive")
 	}
+	_ = c.Threads // any value is legal: <=0 defaults to Partitions
+	c.Snapshot.Validate()
+}
+
+// New validates the configuration and returns an engine.
+func New(cfg Config) *Engine {
+	cfg.Validate()
 	if cfg.Threads <= 0 {
 		cfg.Threads = cfg.Partitions
 	}

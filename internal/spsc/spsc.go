@@ -68,6 +68,8 @@ func (r *Ring[T]) Len() int {
 
 // TryEnqueue appends v and reports whether there was room.
 // Must be called only from the producer goroutine.
+//
+//orthrus:hotpath
 func (r *Ring[T]) TryEnqueue(v T) bool {
 	tail := r.tail.Load()
 	if tail-r.cachedHead >= uint64(len(r.buf)) {
@@ -83,6 +85,8 @@ func (r *Ring[T]) TryEnqueue(v T) bool {
 
 // Enqueue appends v, spinning politely while the ring is full.
 // It returns false only if the ring was closed while waiting.
+//
+//orthrus:hotpath
 func (r *Ring[T]) Enqueue(v T) bool {
 	for !r.TryEnqueue(v) {
 		if r.closed.Load() {
@@ -99,6 +103,8 @@ func (r *Ring[T]) Enqueue(v T) bool {
 // with: k messages cost one atomic release instead of k. A short return
 // (including 0) means the ring filled; the caller retries the remainder.
 // Must be called only from the producer goroutine.
+//
+//orthrus:hotpath
 func (r *Ring[T]) TryEnqueueBatch(vs []T) int {
 	if len(vs) == 0 {
 		return 0
@@ -125,6 +131,8 @@ func (r *Ring[T]) TryEnqueueBatch(vs []T) int {
 
 // TryDequeue removes the oldest element. Must be called only from the
 // consumer goroutine.
+//
+//orthrus:hotpath
 func (r *Ring[T]) TryDequeue() (v T, ok bool) {
 	head := r.head.Load()
 	if head >= r.cachedTail {
@@ -144,6 +152,8 @@ func (r *Ring[T]) TryDequeue() (v T, ok bool) {
 // returns the count, acknowledging them all with a single head store —
 // the consumer mirror of TryEnqueueBatch. It never blocks; 0 means the
 // ring was empty. Must be called only from the consumer goroutine.
+//
+//orthrus:hotpath
 func (r *Ring[T]) DequeueBatch(buf []T) int {
 	if len(buf) == 0 {
 		return 0
@@ -176,6 +186,8 @@ func (r *Ring[T]) DequeueBatch(buf []T) int {
 
 // Dequeue removes the oldest element, spinning politely while the ring is
 // empty. It returns ok=false only if the ring was closed and drained.
+//
+//orthrus:hotpath
 func (r *Ring[T]) Dequeue() (v T, ok bool) {
 	for {
 		if v, ok = r.TryDequeue(); ok {

@@ -166,10 +166,22 @@ func lastNameKey(w, d int, code int) uint64 {
 	return (DKey(w, d) << 10) | uint64(code)
 }
 
+// Validate returns an error on nonsensical scale knobs. Items and
+// CustomersPerDistrict accept any value — non-positive means "use the
+// default", which Load fills.
+func (c Config) Validate() error {
+	if c.Warehouses <= 0 {
+		return fmt.Errorf("tpcc: Warehouses must be positive")
+	}
+	_ = c.Items                // <=0 means DefaultItems
+	_ = c.CustomersPerDistrict // <=0 means DefaultCustomersPerDistrict
+	return nil
+}
+
 // Load builds and populates a TPC-C database.
 func Load(cfg Config) (*Schema, error) {
-	if cfg.Warehouses <= 0 {
-		return nil, fmt.Errorf("tpcc: Warehouses must be positive")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Items <= 0 {
 		cfg.Items = DefaultItems

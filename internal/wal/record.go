@@ -88,6 +88,11 @@ func decodeRecord(data []byte) (rec decoded, n int, ok bool) {
 	if payload < 0 || len(data) < recHeader+payload {
 		return decoded{}, 0, false
 	}
+	if nw*16 > payload {
+		// Each write needs at least its 16-byte entry header; reject
+		// before allocating the write slice an impossible count asks for.
+		return decoded{}, 0, false
+	}
 	crc := crc32.Checksum(data[2:16], crcTable)
 	crc = crc32.Update(crc, crcTable, data[recHeader:recHeader+payload])
 	if crc != binary.LittleEndian.Uint32(data[16:20]) {

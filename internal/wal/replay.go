@@ -55,9 +55,23 @@ func Replay(data []byte, db *storage.DB) ReplayStats {
 		if rec.lsn != next {
 			break
 		}
+		// A checksum-valid record can still carry contents this database
+		// has no home for — a log from a different schema, or corruption
+		// that survived the CRC. That is torn-tail territory, not a
+		// programming error: stop the scan at the boundary of what can be
+		// applied instead of panicking, so recovery keeps the contiguous
+		// prefix applied so far. Table ids are checked before any of the
+		// record's writes land, keeping the applied prefix whole-record.
+		for _, w := range rec.writes {
+			if t := int(w.table); t < 0 || t >= db.NumTables() {
+				st.Torn = true
+				return st
+			}
+		}
 		for _, w := range rec.writes {
 			if err := db.Table(int(w.table)).Insert(w.key, w.val); err != nil {
-				panic("wal: replay insert failed: " + err.Error())
+				st.Torn = true
+				return st
 			}
 		}
 		st.Applied++

@@ -450,6 +450,8 @@ type Appender struct {
 // (table, key), read at encode time — which happens at Commit, while the
 // transaction still holds its locks, so the bytes are this transaction's
 // images. Duplicate (table, key) notes collapse.
+//
+//orthrus:hotpath
 func (a *Appender) Note(table int, key uint64, rec []byte) {
 	for i := range a.writes {
 		if a.writes[i].key == key && a.writes[i].table == int32(table) {
@@ -465,6 +467,8 @@ func (a *Appender) Note(table int, key uint64, rec []byte) {
 func (a *Appender) Pending() int { return len(a.writes) }
 
 // Abort discards the current transaction's captured writes.
+//
+//orthrus:hotpath
 func (a *Appender) Abort() { a.writes = a.writes[:0] }
 
 // Commit seals the current transaction: it assigns the next LSN, encodes
@@ -486,6 +490,8 @@ func (a *Appender) Abort() { a.writes = a.writes[:0] }
 // its locks: the LSN order is the committed-prefix order only because
 // conflicting transactions are serialized across this call by the locks
 // they contend on.
+//
+//orthrus:hotpath
 func (a *Appender) Commit(fn func()) { a.CommitWith(nil, fn) }
 
 // CommitWith is Commit with a version-install hook: when install is
@@ -496,6 +502,8 @@ func (a *Appender) Commit(fn func()) { a.CommitWith(nil, fn) }
 // installed. install must not block and must not call back into the log.
 // A commit with no captured writes has no LSN to stamp, so a non-nil
 // install there panics — versioned writers always capture after-images.
+//
+//orthrus:hotpath
 func (a *Appender) CommitWith(install func(lsn uint64), fn func()) {
 	l := a.log
 	if len(a.writes) == 0 {

@@ -75,7 +75,7 @@ func (p *Phased) Next(thread int, rng *rand.Rand) *txn.Txn {
 		}
 		elapsed -= ph.For
 	}
-	panic("unreachable")
+	panic("workload: phased source fell through its phase list")
 }
 
 // Elapsed reports time since the first Next call (zero before it), so
