@@ -23,16 +23,75 @@
 // (analytics fraction pinnable with -readonly-pct). With -json <dir>, each experiment's series is also written
 // as JSON rows (one object per line) to <dir>/BENCH_<id>.json for
 // mechanical tracking across checkouts.
+//
+// Profiling: -cpuprofile, -memprofile and -mutexprofile write pprof
+// files covering the run, e.g.
+//
+//	orthrus-bench -experiment batching -cpuprofile cpu.pb.gz
+//	go tool pprof cpu.pb.gz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/harness"
 )
+
+// startProfiles turns on the requested profilers and returns a stop
+// function that writes the profile files. CPU profiling runs for the
+// whole invocation; heap and mutex profiles are snapshotted at exit —
+// point them at a single experiment (-experiment batching) rather than
+// 'all' for an attributable profile.
+func startProfiles(cpu, mem, mutex string) func() {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orthrus-bench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "orthrus-bench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cpuFile = f
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	write := func(path, profile string) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orthrus-bench: writing %s profile: %v\n", profile, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if profile == "heap" {
+			runtime.GC() // report live objects, not dead garbage
+		}
+		if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "orthrus-bench: writing %s profile: %v\n", profile, err)
+			os.Exit(2)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			write(mem, "heap")
+		}
+		if mutex != "" {
+			write(mutex, "mutex")
+		}
+	}
+}
 
 func main() {
 	var (
@@ -48,8 +107,14 @@ func main() {
 		scanLen    = flag.Int("scan-maxlen", 0, "scan experiment: pin the max scan length (0 sweeps, out-of-range panics)")
 		roPct      = flag.Int("readonly-pct", 0, "htap experiment: pin the analytics fraction (percent; 0 uses the default, out-of-range panics)")
 		jsonDir    = flag.String("json", "", "also write each experiment's series as JSON rows to <dir>/BENCH_<id>.json")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
+		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuProf, *memProf, *mutexProf)
+	defer stopProfiles()
 
 	if *list {
 		fmt.Println("Available experiments:")

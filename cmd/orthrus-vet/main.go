@@ -1,8 +1,8 @@
 // Command orthrus-vet is the repository's invariant checker: a
-// go/vet-style multichecker that runs the five orthrus analyzers
-// (lockorder, hotpath, atomicfield, configvalidate, panicmsg) over the
-// packages named on the command line and exits nonzero on any
-// diagnostic.
+// go/vet-style multichecker that runs the seven orthrus analyzers
+// (lockorder, hotpath, noalloc, recycle, atomicfield, configvalidate,
+// panicmsg) over the packages named on the command line and exits
+// nonzero on any diagnostic.
 //
 // Usage:
 //
@@ -26,12 +26,16 @@ import (
 	"repro/internal/analysis/configvalidate"
 	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/noalloc"
 	"repro/internal/analysis/panicmsg"
+	"repro/internal/analysis/recycle"
 )
 
 var analyzers = []*analysis.Analyzer{
 	lockorder.Analyzer,
 	hotpath.Analyzer,
+	noalloc.Analyzer,
+	recycle.Analyzer,
 	atomicfield.Analyzer,
 	configvalidate.Analyzer,
 	panicmsg.Analyzer,

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"sync"
 	"time"
 
@@ -24,14 +26,30 @@ import (
 
 func main() {
 	var (
-		records  = flag.Uint64("records", 1<<16, "table rows")
-		hot      = flag.Uint64("hot", 64, "hot-set size")
-		cc       = flag.Int("cc", 2, "ORTHRUS CC threads")
-		exec     = flag.Int("exec", 6, "ORTHRUS execution threads")
-		clients  = flag.Int("clients", 8, "simulated client connections")
-		duration = flag.Duration("duration", time.Second, "run length per phase")
+		records   = flag.Uint64("records", 1<<16, "table rows")
+		hot       = flag.Uint64("hot", 64, "hot-set size")
+		cc        = flag.Int("cc", 2, "ORTHRUS CC threads")
+		exec      = flag.Int("exec", 6, "ORTHRUS execution threads")
+		clients   = flag.Int("clients", 8, "simulated client connections")
+		duration  = flag.Duration("duration", time.Second, "run length per phase")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the server runs")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Live profiling endpoint, the serving-side complement of
+		// orthrus-bench's -cpuprofile: while a phase runs,
+		//
+		//	go tool pprof http://<addr>/debug/pprof/profile?seconds=5
+		//
+		// attaches to the hot path under real load.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Printf("pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	db := repro.NewDB()
 	tbl := db.Create(repro.Layout{Name: "accounts", NumRecords: *records, RecordSize: 100})

@@ -1,0 +1,251 @@
+// Package noalloc enforces the zero-allocation discipline on the
+// latency-critical paths: functions annotated //orthrus:hotpath (the same
+// roots the hotpath analyzer walks — SPSC ring operations, CC drain
+// loops, execution-thread commit paths, WAL appends) and everything they
+// statically call may not perform steady-state heap allocation.
+//
+// The analyzer walks the static call graph from each annotated root and
+// flags, within every reached body:
+//
+//   - composite literals that escape — &T{...} always, and value
+//     literals of slice or map type (each evaluation allocates backing
+//     store);
+//   - the make and new builtins;
+//   - append calls that do not feed back into the slice they extend
+//     ("self-append"): x = append(x, ...) and x = append(x[:0], ...)
+//     amortize to zero once scratch capacity reaches its high-water
+//     mark, but y = append(x, ...) (or a bare append passed as an
+//     argument) manufactures a fresh slice every time;
+//   - function literals that capture variables from the enclosing
+//     function: a capturing closure allocates its environment at every
+//     evaluation, the single-allocation pattern this PR removed from the
+//     transaction generators. Capture-free literals compile to static
+//     functions and pass.
+//
+// Amortized growth that is deliberate — a per-thread scratch buffer's
+// first-iteration sizing, an arena refill — is suppressed site-by-site
+// with //orthrus:allow(noalloc) <reason>; //orthrus:coldpath <reason>
+// on a function marks a traversal boundary exactly as for hotpath.
+// Dynamic calls (function values, interface dispatch) are not traversed.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "noalloc",
+	Doc:        "//orthrus:hotpath functions and their static callees must not heap-allocate in steady state",
+	RunProgram: run,
+}
+
+func run(pass *analysis.Pass) error {
+	w := &walker{pass: pass, reported: make(map[token.Pos]bool)}
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if _, ok := pass.Prog.Directive(fd, "hotpath"); !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				w.visited = map[*types.Func]bool{obj: true}
+				w.root = obj
+				w.fn(pkg, fd)
+			}
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	root     *types.Func
+	visited  map[*types.Func]bool
+	reported map[token.Pos]bool
+}
+
+// via renders the call chain from the root to the current function.
+func via(chain []*types.Func) string {
+	if len(chain) == 0 {
+		return ""
+	}
+	names := make([]string, len(chain))
+	for i, f := range chain {
+		names[i] = f.Name()
+	}
+	return " via " + strings.Join(names, " → ")
+}
+
+// fn checks one reached function body.
+func (w *walker) fn(pkg *analysis.Package, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	w.body(pkg, fd, fd.Body, nil)
+}
+
+// body walks stmts of fd (a FuncDecl reached from the root), flagging
+// allocation sites and descending into static callees.
+func (w *walker) body(pkg *analysis.Package, fd *ast.FuncDecl, n ast.Node, chain []*types.Func) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.GoStmt:
+			// The spawned body runs elsewhere (and spawning on a hot path
+			// is a hotpath-analyzer concern, not an allocation one).
+			return false
+		case *ast.FuncLit:
+			w.funcLit(pkg, fd, c, chain)
+			return false
+		case *ast.UnaryExpr:
+			if c.Op == token.AND {
+				if _, isLit := c.X.(*ast.CompositeLit); isLit {
+					w.flag(c.Pos(), "composite literal escapes to the heap (&T{...})", chain)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pkg.Info.Types[c]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					w.flag(c.Pos(), "slice/map literal allocates backing store", chain)
+				}
+			}
+		case *ast.AssignStmt:
+			// Self-appends are the sanctioned scratch-reuse shape; check
+			// them here and skip the CallExpr case's bare-append flag.
+			if len(c.Lhs) == 1 && len(c.Rhs) == 1 {
+				if call, ok := c.Rhs[0].(*ast.CallExpr); ok && isBuiltin(pkg, call, "append") {
+					w.appendCall(pkg, c.Lhs[0], call, chain)
+					// Still descend into the append arguments (they may
+					// contain calls), but not re-enter the call check.
+					for _, arg := range call.Args {
+						w.body(pkg, fd, arg, chain)
+					}
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(pkg, c, "make"):
+				w.flag(c.Pos(), "make allocates", chain)
+			case isBuiltin(pkg, c, "new"):
+				w.flag(c.Pos(), "new allocates", chain)
+			case isBuiltin(pkg, c, "append"):
+				w.flag(c.Pos(), "append result is not assigned back to its source slice (fresh allocation per call)", chain)
+			default:
+				w.call(pkg, c, chain)
+			}
+		}
+		return true
+	})
+}
+
+// appendCall checks lhs = append(src, ...): src, stripped of slicing and
+// parentheses, must spell the same expression as lhs — the self-append
+// shape whose growth amortizes to zero.
+func (w *walker) appendCall(pkg *analysis.Package, lhs ast.Expr, call *ast.CallExpr, chain []*types.Func) {
+	if len(call.Args) == 0 {
+		return
+	}
+	src := stripSlices(call.Args[0])
+	if types.ExprString(stripSlices(lhs)) == types.ExprString(src) {
+		return
+	}
+	w.flag(call.Pos(), "append result is assigned to a different slice than its source (fresh allocation per call)", chain)
+}
+
+// stripSlices removes slicing, parenthesization and dereference wrappers:
+// (*buf)[:0] and buf[n:] both reduce to buf.
+func stripSlices(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// funcLit flags literals that capture enclosing-function variables. enc
+// is the FuncDecl lexically containing the literal.
+func (w *walker) funcLit(pkg *analysis.Package, enc *ast.FuncDecl, lit *ast.FuncLit, chain []*types.Func) {
+	captured := ""
+	ast.Inspect(lit.Body, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok || captured != "" {
+			return captured == ""
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but outside
+		// the literal itself (package-level vars are static; the literal's
+		// own params/locals are its frame).
+		if v.Pos() > enc.Pos() && v.Pos() < enc.End() && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			captured = v.Name()
+		}
+		return captured == ""
+	})
+	if captured != "" {
+		w.flag(lit.Pos(), "closure captures "+captured+" (allocates its environment per evaluation)", chain)
+		return
+	}
+	// Capture-free: static function value; still check its body.
+	w.body(pkg, enc, lit.Body, chain)
+}
+
+// call descends into a statically resolved callee defined in the load
+// unit, honoring coldpath boundaries.
+func (w *walker) call(pkg *analysis.Package, call *ast.CallExpr, chain []*types.Func) {
+	fn := analysis.Callee(pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	decl, ok := w.pass.Prog.Decls[fn]
+	if !ok || w.visited[fn] {
+		return
+	}
+	if _, cold := w.pass.Prog.Directive(decl, "coldpath"); cold {
+		return
+	}
+	w.visited[fn] = true
+	w.body(w.pass.Prog.DeclPkg[fn], decl, decl.Body, append(chain, fn))
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pkg *analysis.Package, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := pkg.Info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// flag reports one allocation site, once per site per root.
+func (w *walker) flag(pos token.Pos, what string, chain []*types.Func) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.pass.Reportf(pos, "%s on the hot path of //orthrus:hotpath %s%s", what, w.root.FullName(), via(chain))
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	atest.Run(t, "testdata", noalloc.Analyzer, "a", "clean")
+}

@@ -1,0 +1,36 @@
+// Package clean holds hot-path code the noalloc analyzer must accept
+// unchanged: scratch reuse via self-append, within-capacity reslicing,
+// struct value literals, and capture-free function values.
+package clean
+
+type msg struct{ pid, key uint64 }
+
+type thread struct {
+	scratch []msg
+	byCC    [][]msg
+	hops    []int
+}
+
+//orthrus:hotpath
+func drain(t *thread, in []msg) {
+	t.scratch = t.scratch[:0]
+	for _, m := range in {
+		t.scratch = append(t.scratch, m)
+	}
+	// Re-extending an outer slice within capacity, then reusing the inner
+	// slice's backing array — the plan-buffer shape.
+	n := len(t.hops)
+	t.hops = append(t.hops, 0)
+	if n < cap(t.byCC) {
+		t.byCC = t.byCC[:n+1]
+	}
+	buf := t.byCC[n][:0]
+	buf = append(buf, msg{pid: 1})
+	t.byCC[n] = buf
+
+	v := msg{key: 2} // struct value: stack
+	t.scratch = append(t.scratch, v)
+
+	cmp := func(a, b msg) bool { return a.key < b.key } // capture-free
+	_ = cmp(v, v)
+}

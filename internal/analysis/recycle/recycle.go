@@ -1,0 +1,60 @@
+// Package recycle enforces the pooled-object ownership convention: every
+// call to (*sync.Pool).Put must appear inside a function whose doc
+// comment carries
+//
+//	//orthrus:recycle <reason>
+//
+// stating why the object is unreachable by every other observer at that
+// point. Returning an object to a pool is the moment use-after-free bugs
+// are born — the next Get hands the same memory to an unrelated caller —
+// so the convention forces each Put site to document its ownership
+// argument where reviewers (and the next editor of the function) will
+// see it. A bare //orthrus:recycle with no reason is itself a
+// diagnostic, exactly like a bare coldpath or allow.
+package recycle
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the recycle pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "recycle",
+	Doc:        "(*sync.Pool).Put must be called from a function documented with //orthrus:recycle <reason>",
+	RunProgram: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				reason, marked := pass.Prog.Directive(fd, "recycle")
+				if marked && reason == "" {
+					pass.Reportf(fd.Pos(), "//orthrus:recycle requires a reason (the ownership argument for recycling here)")
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := analysis.Callee(pkg.Info, call)
+					if fn == nil || fn.FullName() != "(*sync.Pool).Put" {
+						return true
+					}
+					if !marked {
+						pass.Reportf(call.Pos(),
+							"sync.Pool Put outside an //orthrus:recycle function: document the ownership transfer on %s's doc comment", fd.Name.Name)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package recycle_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/recycle"
+)
+
+func TestRecycle(t *testing.T) {
+	atest.Run(t, "testdata", recycle.Analyzer, "a")
+}

@@ -1,0 +1,40 @@
+// Package a exercises the recycle analyzer.
+package a
+
+import "sync"
+
+type obj struct{ n int }
+
+var pool = sync.Pool{New: func() interface{} { return new(obj) }}
+
+// putUndocumented recycles without the directive.
+func putUndocumented(o *obj) {
+	o.n = 0
+	pool.Put(o) // want `sync.Pool Put outside an //orthrus:recycle function`
+}
+
+// putDocumented carries the convention.
+//
+//orthrus:recycle testdata: caller is the last reference holder
+func putDocumented(o *obj) {
+	o.n = 0
+	pool.Put(o)
+}
+
+// putInClosure: the literal's enclosing declaration carries the
+// directive, which covers the Put.
+//
+//orthrus:recycle testdata: deferred recycling after the last observer
+func putInClosure(o *obj) func() {
+	return func() { pool.Put(o) }
+}
+
+// A bare directive is itself a diagnostic.
+//
+//orthrus:recycle
+func bareDirective(o *obj) { // want `//orthrus:recycle requires a reason`
+	pool.Put(o)
+}
+
+// get is unrelated to Put and needs nothing.
+func get() *obj { return pool.Get().(*obj) }

@@ -183,6 +183,9 @@ func (w *dlfreeWorker) execute(t *txn.Txn, comp *engine.Completion) {
 			w.ctx.Commit()
 			var ack func()
 			if w.ctx.Wal != nil {
+				// Ownership transfer: the flusher may fire the ack — and
+				// recycle t — before the release loop below finishes; the
+				// loop iterates worker-owned held, never t.Ops.
 				ack = comp.Defer()
 			}
 			engine.CommitVersions(w.ctx.Wal, &e.clock, &w.ctx.VSet, stats, ack)

@@ -101,27 +101,36 @@ func Timestamp(thread int) uint64 {
 
 // UndoLog captures before-images of records mutated in place so an aborted
 // transaction's writes can be rolled back. One log lives per worker
-// thread and is reused across transactions; image bytes come from a
-// growing arena, so steady state performs no allocation.
+// thread and is reused across transactions; image bytes come from an
+// arena whose write offset rewinds on Reset — after commit or rollback no
+// image is referenced, so the same bytes serve every transaction and
+// steady state performs no allocation (the old consume-only arena leaked
+// its capacity and re-allocated every 64KB of images).
 type UndoLog struct {
-	recs  [][]byte // the live record slices
-	imgs  [][]byte // before-images (arena-backed)
-	arena []byte
+	recs [][]byte // the live record slices
+	imgs [][]byte // before-images (arena-backed)
+	buf  []byte   // image arena; off..len(buf) is free
+	off  int
 }
 
 // Record saves rec's current contents. Call before the first mutation of
 // each record.
 func (u *UndoLog) Record(rec []byte) {
 	n := len(rec)
-	if len(u.arena) < n {
+	if len(u.buf)-u.off < n {
 		sz := 1 << 16
 		if n > sz {
 			sz = n
 		}
-		u.arena = make([]byte, sz)
+		// A transaction whose images outgrow one arena keeps the full old
+		// buffer alive through imgs until Reset; that transient is the
+		// price of rewinding instead of consuming.
+		//orthrus:allow(noalloc) arena growth: first transaction (or an outsized one) only; the buffer is reused afterwards
+		u.buf = make([]byte, sz)
+		u.off = 0
 	}
-	img := u.arena[:n:n]
-	u.arena = u.arena[n:]
+	img := u.buf[u.off : u.off+n : u.off+n]
+	u.off += n
 	copy(img, rec)
 	u.recs = append(u.recs, rec)
 	u.imgs = append(u.imgs, img)
@@ -146,10 +155,11 @@ func (u *UndoLog) Rollback() {
 	u.Reset()
 }
 
-// Reset forgets recorded images (after commit).
+// Reset forgets recorded images (after commit) and rewinds the arena.
 func (u *UndoLog) Reset() {
 	u.recs = u.recs[:0]
 	u.imgs = u.imgs[:0]
+	u.off = 0
 }
 
 // Len returns the number of recorded images.

@@ -12,13 +12,17 @@ import (
 // dequeue is one CAS plus one release store — no mutex, no goroutine
 // parking. It is the submission plane of WorkerSession, where a Go
 // channel's lock and park/unpark cycle would dominate short transactions.
+// The enqueue and dequeue cursors are padded 128 bytes apart (two cache
+// lines, clearing the adjacent-line prefetcher) so producers CASing enq
+// never invalidate the line consumers CAS deq on.
 type mpmc struct {
 	mask  uint64
 	cells []mpmcCell
-	_     [64]byte
+	_     [128]byte
 	enq   atomic.Uint64
-	_     [64]byte
+	_     [128]byte
 	deq   atomic.Uint64
+	_     [128]byte
 }
 
 type mpmcCell struct {

@@ -116,15 +116,17 @@ func (g *InUseGuard) Release() {
 }
 
 // Completion carries one submission's completion duties — commit-latency
-// recording, the session callback, in-flight retirement — as a first-class
-// value, so an engine can either discharge them inline at pre-commit (the
-// paper's instant acknowledgment, when durability is off) or defer them
-// behind a WAL group-commit flush. The worker loop reuses one Completion
-// per thread; Defer copies it, so a deferred acknowledgment survives the
-// worker moving on to the next transaction.
+// recording, the session callback, in-flight retirement, recycling the
+// transaction — as a first-class value, so an engine can either discharge
+// them inline at pre-commit (the paper's instant acknowledgment, when
+// durability is off) or defer them behind a WAL group-commit flush. The
+// worker loop reuses one Completion per thread; Defer copies it into a
+// pooled carrier, so a deferred acknowledgment survives the worker moving
+// on to the next transaction without a per-commit closure allocation.
 type Completion struct {
 	ses   *WorkerSession
 	stats *metrics.ThreadStats
+	t     *txn.Txn // recycled via t.Free once the completion fires
 	done  func(bool)
 	start time.Time
 }
@@ -132,7 +134,11 @@ type Completion struct {
 // Finish discharges the completion: exactly one Finish (or one deferred
 // callback from Defer) must run per submission. When committed, the
 // service latency recorded spans dequeue to this call — including the
-// durability flush stall if the engine deferred past one.
+// durability flush stall if the engine deferred past one. Finish is the
+// transaction's last observer: it fires t.Free afterwards, so the worker
+// must not touch t again — the paths that do cleanup after Finish (lock
+// release loops) must operate on worker-owned state, never on t's slices
+// (see the //orthrus:recycle audit notes at each Defer call site).
 func (c *Completion) Finish(committed bool) {
 	if committed {
 		c.stats.Latency.Record(time.Since(c.start))
@@ -140,15 +146,57 @@ func (c *Completion) Finish(committed bool) {
 	if c.done != nil {
 		c.done(committed)
 	}
+	t := c.t
+	c.t = nil
 	c.ses.inflight.Done()
+	if t != nil && t.Free != nil {
+		t.Free()
+	}
+}
+
+// deferredAck carries a snapshotted Completion to the WAL flusher. Its
+// fire func is bound once at pool insertion, so deferring a commit costs
+// no allocation in steady state.
+type deferredAck struct {
+	c    Completion
+	fire func()
+}
+
+var deferredAcks sync.Pool
+
+func init() {
+	// Assigned in init, not the composite literal: New references
+	// deferredAck.run, which references the pool back (an initialization
+	// cycle the compiler rejects at package scope).
+	deferredAcks.New = func() interface{} {
+		d := &deferredAck{}
+		d.fire = d.run
+		return d
+	}
+}
+
+// run fires the deferred completion once and returns the carrier to the
+// pool. The Completion is copied out first so the recycled carrier can be
+// reused by another commit immediately.
+//
+//orthrus:recycle the carrier returns to the pool before the one-shot fire consumes its snapshot copy
+func (d *deferredAck) run() {
+	c := d.c
+	d.c = Completion{}
+	deferredAcks.Put(d)
+	c.Finish(true)
 }
 
 // Defer returns Finish(true) as a standalone callback for a WAL appender:
 // it snapshots the (worker-reused) Completion so the acknowledgment can
-// fire from the flusher goroutine after the record is durable.
+// fire from the flusher goroutine after the record is durable. From this
+// point the flusher owns the completion — and, transitively, the
+// transaction's recycling — so the worker must not touch t afterwards.
 func (c *Completion) Defer() func() {
-	cc := *c
-	return func() { cc.Finish(true) }
+	d := deferredAcks.Get().(*deferredAck)
+	d.c = *c
+	c.t = nil // ownership transferred to the deferred ack
+	return d.fire
 }
 
 // Stats returns the executing worker's stats slot.
@@ -214,7 +262,7 @@ func NewWorkerSession(name string, workers, queueCap int, guard *InUseGuard, log
 					continue
 				}
 				idle.Reset()
-				comp.done, comp.start = sub.Done, time.Now()
+				comp.t, comp.done, comp.start = sub.Txn, sub.Done, time.Now()
 				exec(sub.Txn, &comp)
 			}
 		}(i)

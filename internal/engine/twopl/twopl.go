@@ -331,6 +331,9 @@ func (c *execCtx) commit(comp *engine.Completion) {
 	c.undo.Reset()
 	var ack func()
 	if c.wal != nil {
+		// Ownership transfer: once the flusher holds the ack it may fire —
+		// and recycle t — any time; everything after this line (releaseAll)
+		// iterates worker-owned c.held, never t's slices.
 		ack = comp.Defer()
 	}
 	engine.CommitVersions(c.wal, &c.eng.clock, &c.vset, c.stats, ack)

@@ -53,7 +53,10 @@ type ThreadStats struct {
 	// commit, retries included.
 	Latency Histogram
 
-	_ [64]byte
+	// Padded to 128 bytes, not 64: the adjacent-line prefetcher pulls
+	// cache lines in pairs, so neighbouring slots in a Set's slice would
+	// still false-share across a single-line pad.
+	_ [128]byte
 }
 
 // AddExec accrues execution time.

@@ -111,6 +111,67 @@ func TestBatchingReducesRingOps(t *testing.T) {
 	}
 }
 
+// Convergence of the AIMD controller as a pure state machine: sustained
+// high publish volume grows additively to the cap; trickle volume decays
+// multiplicatively toward 1; the hysteresis band (between half a batch
+// and a full batch) holds; and idle passes — however many the OS
+// scheduler interleaves — contribute no samples and so cannot move the
+// batch at all.
+func TestBatchControllerConvergence(t *testing.T) {
+	// window feeds one full decision window of active passes, each
+	// publishing `pushed` messages.
+	window := func(b *batchController, pushed int) {
+		for i := 0; i < batchWindow; i++ {
+			b.observe(pushed, true)
+		}
+	}
+
+	b := newBatchController()
+	if b.batch != DefaultBatchSize {
+		t.Fatalf("start batch = %d, want the static default %d", b.batch, DefaultBatchSize)
+	}
+	// Saturation: every active pass fills whatever the batch grows to.
+	for i := 0; i < 4*maxAdaptiveBatch; i++ {
+		window(b, maxAdaptiveBatch)
+	}
+	if b.batch != maxAdaptiveBatch {
+		t.Fatalf("saturated batch = %d, want cap %d", b.batch, maxAdaptiveBatch)
+	}
+	// Light load: a lone message per active pass halves per window to 1.
+	for i := 0; i < 10; i++ {
+		window(b, 1)
+	}
+	if b.batch <= 0 || b.batch > 2 {
+		t.Fatalf("trickle batch = %d, want 1 (or the 1<->2 boundary oscillation)", b.batch)
+	}
+	// Hysteresis: volume above half a batch but below a full one holds.
+	b = newBatchController()
+	for i := 0; i < 50; i++ {
+		window(b, DefaultBatchSize-1)
+	}
+	if b.batch != DefaultBatchSize {
+		t.Fatalf("hysteresis-band batch = %d, want unchanged %d", b.batch, DefaultBatchSize)
+	}
+	// Idle passes are not samples: no run of them moves the batch.
+	for i := 0; i < 10_000; i++ {
+		if got := b.observe(0, false); got != DefaultBatchSize {
+			t.Fatalf("idle pass moved batch to %d", got)
+		}
+	}
+	// Volume converges just above the natural per-pass traffic: from the
+	// default 8, sustained volume 4 halves (2*4 <= 8) to 4, fills once
+	// (4 >= 4) to 5, then parks in the hold band — one above the volume,
+	// so a steady flow never quite fills the batch and every message
+	// still publishes by the end-of-pass flush.
+	b = newBatchController()
+	for i := 0; i < 50; i++ {
+		window(b, 4)
+	}
+	if b.batch != 5 {
+		t.Fatalf("batch = %d after sustained volume 4, want 5", b.batch)
+	}
+}
+
 // Correctness sweep across batch sizes, including batches larger than the
 // ring capacity (partial publishes) and the channel-transport and
 // exec-mediated ablations.

@@ -127,6 +127,7 @@ type privateTable struct {
 }
 
 func newPrivateTable() *privateTable {
+	//orthrus:allow(noalloc) once per logical partition's first lock request; the table then lives (and migrates) forever
 	return &privateTable{entries: make(map[lockKey]*lentry, 256)}
 }
 
@@ -295,13 +296,14 @@ type ccThread struct {
 }
 
 func newCCThread(s *runState, id int) *ccThread {
+	batch := ccBatchSize(s.cfg)
 	c := &ccThread{
 		s:        s,
 		id:       id,
 		shards:   make([]*privateTable, s.cfg.LogicalPartitions),
 		ctrl:     s.ccCtrl[id],
-		batch:    s.cfg.BatchSize,
-		inbuf:    make([]message, s.cfg.BatchSize),
+		batch:    batch,
+		inbuf:    make([]message, batch),
 		fwdOut:   make([][]message, s.cfg.CCThreads),
 		grantOut: make([][]message, s.cfg.ExecThreads),
 		pidAcc:   make([]uint64, s.cfg.LogicalPartitions),
@@ -454,7 +456,7 @@ func (c *ccThread) flushStats() {
 	}
 	c.passMsgs = 0
 	for _, pid := range c.pidTouched {
-		c.s.pidLoad[pid].Add(c.pidAcc[pid])
+		c.s.pidLoad[pid].n.Add(c.pidAcc[pid])
 		c.pidAcc[pid] = 0
 	}
 	c.pidTouched = c.pidTouched[:0]
@@ -466,7 +468,6 @@ func (c *ccThread) flushStats() {
 func (c *ccThread) acquire(w *wrapper) {
 	hop := w.hopIdx
 	ops := w.opsByCC[hop]
-	reqs := w.reqs[hop]
 	pending := 0
 	for _, op := range ops {
 		pid := c.s.pidOf(op.Table, op.Key)
@@ -478,9 +479,8 @@ func (c *ccThread) acquire(w *wrapper) {
 		if !c.tallyAndInsert(pid, r) {
 			pending++
 		}
-		reqs = append(reqs, r)
+		w.reqs[hop] = append(w.reqs[hop], r)
 	}
-	w.reqs[hop] = reqs
 	w.pending = pending
 	if pending == 0 {
 		c.advance(w)
@@ -527,7 +527,9 @@ func (c *ccThread) advance(w *wrapper) {
 // releaseTxn drops this CC thread's locks for w; newly granted requests
 // may complete other transactions' chains. Processing the wrapper's final
 // release message retires its routing epoch — the signal the migration
-// protocol's drain barrier waits on.
+// protocol's drain barrier waits on — and drops this thread's wrapper
+// reference, which on the last holder recycles the wrapper and its
+// transaction (runState.dropRef).
 func (c *ccThread) releaseTxn(w *wrapper) {
 	hop := w.hopOf(c.id)
 	c.granted = c.granted[:0]
@@ -535,7 +537,9 @@ func (c *ccThread) releaseTxn(w *wrapper) {
 		c.granted = c.table(r.pid).release(r, c.granted)
 		c.putReq(r)
 	}
-	w.reqs[hop] = nil
+	// Truncate, keeping capacity: this hop slot is reused when the pooled
+	// wrapper plans its next chain.
+	w.reqs[hop] = w.reqs[hop][:0]
 	for _, g := range c.granted {
 		g.w.pending--
 		if g.w.pending == 0 {
@@ -545,6 +549,7 @@ func (c *ccThread) releaseTxn(w *wrapper) {
 	if w.releasesLeft.Add(-1) == 0 {
 		c.s.epochs.add(w.epoch, -1)
 	}
+	c.s.dropRef(w)
 }
 
 // handleCtrl executes one control-plane request on this thread, so shard
@@ -632,6 +637,7 @@ func (c *ccThread) getReq() *localReq {
 		c.reqPool = c.reqPool[:n-1]
 		return r
 	}
+	//orthrus:allow(noalloc) pool backstop: only until the per-thread free list reaches its high-water mark
 	return &localReq{}
 }
 

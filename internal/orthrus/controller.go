@@ -217,7 +217,7 @@ func (ct *controller) tick() {
 	delta := make([]uint64, len(ct.lastLoad))
 	var total uint64
 	for pid := range delta {
-		cur := s.pidLoad[pid].Load()
+		cur := s.pidLoad[pid].n.Load()
 		delta[pid] = cur - ct.lastLoad[pid]
 		ct.lastLoad[pid] = cur
 		total += delta[pid]

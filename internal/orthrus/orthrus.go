@@ -76,7 +76,9 @@ import (
 const (
 	DefaultQueueCap = 256
 	DefaultInflight = 8
-	// DefaultBatchSize is the message-plane batching factor.
+	// DefaultBatchSize is the CC threads' static message-plane batching
+	// factor and the adaptive exec-side controller's starting point
+	// (see batch.go); exec threads only pin it when BatchSize is set.
 	DefaultBatchSize = 8
 	// DefaultPartitionFactor sizes the logical partition space relative to
 	// the CC thread count: LogicalPartitions defaults to this many
@@ -120,9 +122,17 @@ type Config struct {
 	// operation, CC threads do the same for forwards and grants, and both
 	// sides drain their input rings in batches — so the per-message cost
 	// of an atomic release-store plus a consumer load drops to ~1/k of
-	// one. 1 reverts to per-message transfer (the unbatched ablation);
-	// defaults to DefaultBatchSize. FIFO order per ring is unaffected —
-	// batches are published and consumed in send order.
+	// one. 1 reverts to per-message transfer (the unbatched ablation).
+	// FIFO order per ring is unaffected — batches are published and
+	// consumed in send order.
+	//
+	// 0 (the default) makes each execution thread's batch adaptive: an
+	// AIMD controller grows it while the thread's per-pass publish volume
+	// keeps filling it and halves it when active passes publish half a
+	// batch or less, so saturated runs amortize ring traffic like a large
+	// static batch while lightly loaded runs publish (and so acknowledge)
+	// almost immediately, like BatchSize=1. A positive value pins the
+	// historical static behaviour. See batch.go.
 	BatchSize int
 	// UseChannels swaps the SPSC rings for buffered Go channels — the
 	// transport ablation.
@@ -209,6 +219,11 @@ type MessageStats struct {
 	// summing a field across PerCC cross-checks the send-side totals
 	// above).
 	PerCC []CCStats
+
+	// ExecBatch is each execution thread's batch size when the session
+	// closed: the configured static value, or wherever the adaptive
+	// controller (Config.BatchSize=0) had converged.
+	ExecBatch []int
 }
 
 // AcquisitionMessages returns the messages spent acquiring locks
@@ -254,8 +269,16 @@ type message struct {
 //   - releasesLeft: atomically decremented by each CC thread processing
 //     one of the wrapper's release messages; the thread that takes it to
 //     zero retires the wrapper's routing epoch (see epochGauge).
+//   - refs: one reference per observer — each CC hop, the owning exec
+//     thread, and (when durable) the WAL commit ack. The last decrement
+//     recycles the wrapper and its transaction (runState.dropRef), so
+//     neither can be reused while any thread may still touch them.
 //
 // Ring transfer provides the happens-before edges between owners.
+//
+// Wrappers are pooled (runState.wraps): hops, opsByCC and reqs keep
+// their backing arrays across lives, so steady-state planning performs
+// no allocation.
 type wrapper struct {
 	t     *txn.Txn
 	owner int
@@ -270,6 +293,16 @@ type wrapper struct {
 	hopIdx       int
 	pending      int
 	releasesLeft atomic.Int32
+	refs         atomic.Int32
+}
+
+// resetPlan truncates the planning slices, keeping every backing array
+// (including the inner opsByCC/reqs buffers, which plan and cc.acquire
+// re-extend within capacity) for the wrapper's next plan or life.
+func (w *wrapper) resetPlan() {
+	w.hops = w.hops[:0]
+	w.opsByCC = w.opsByCC[:0]
+	w.reqs = w.reqs[:0]
 }
 
 // hopOf returns the index of CC thread c in the wrapper's chain.
@@ -315,7 +348,7 @@ func (c Config) Validate() {
 		panic(fmt.Sprintf("orthrus: Inflight must not be negative (got %d; 0 means default)", c.Inflight))
 	}
 	if c.BatchSize < 0 {
-		panic(fmt.Sprintf("orthrus: BatchSize must not be negative (got %d; 0 means default)", c.BatchSize))
+		panic(fmt.Sprintf("orthrus: BatchSize must not be negative (got %d; 0 means adaptive)", c.BatchSize))
 	}
 	if c.LogicalPartitions < 0 {
 		panic(fmt.Sprintf("orthrus: LogicalPartitions must not be negative (got %d; 0 means default)", c.LogicalPartitions))
@@ -333,9 +366,8 @@ func New(cfg Config) *Engine {
 	if cfg.Inflight == 0 {
 		cfg.Inflight = DefaultInflight
 	}
-	if cfg.BatchSize == 0 {
-		cfg.BatchSize = DefaultBatchSize
-	}
+	// BatchSize 0 stays 0: it selects the adaptive per-exec-thread
+	// controller (see batch.go); CC threads fall back to DefaultBatchSize.
 	if cfg.LogicalPartitions == 0 {
 		cfg.LogicalPartitions = DefaultPartitionFactor * cfg.CCThreads
 	}
@@ -385,7 +417,17 @@ type ccLiveStats struct {
 	// hiWaterRun is the same mark over the whole session.
 	hiWater    atomic.Int64
 	hiWaterRun atomic.Int64
-	_          [64]byte
+	// Pads the six 8-byte atomics above to 128 bytes — two cache lines,
+	// clearing the adjacent-line prefetcher between neighbouring slots.
+	_ [80]byte
+}
+
+// pidCounter is one logical partition's op-load tally. Neighbouring
+// partitions are usually owned by different CC threads, so the counters
+// are padded apart rather than packed into a plain []atomic.Uint64.
+type pidCounter struct {
+	n atomic.Uint64
+	_ [120]byte
 }
 
 // runState is per-Run message-plane state.
@@ -406,8 +448,18 @@ type runState struct {
 
 	// Controller inputs: per-logical-partition op load and per-CC-thread
 	// live counters.
-	pidLoad []atomic.Uint64
+	pidLoad []pidCounter
 	ccLive  []ccLiveStats
+
+	// wraps pools wrappers and acks pools WAL commit-ack closures; both
+	// are shared across exec and CC threads because any of a wrapper's
+	// observers may be the one dropping the final reference.
+	wraps sync.Pool
+	acks  sync.Pool
+
+	// execBatch[x] is exec thread x's final (possibly adaptive) batch
+	// size, written when the thread exits and read after execWg.Wait().
+	execBatch []int
 
 	// message-plane counters (MessageStats after the run)
 	nAcquires atomic.Uint64
@@ -494,9 +546,73 @@ func (e *Engine) newRunState() *runState {
 	for i := range s.ccCtrl {
 		s.ccCtrl[i] = make(chan ccCtrl, 2)
 	}
-	s.pidLoad = make([]atomic.Uint64, cfg.LogicalPartitions)
+	s.pidLoad = make([]pidCounter, cfg.LogicalPartitions)
 	s.ccLive = make([]ccLiveStats, cfg.CCThreads)
+	s.wraps.New = func() interface{} { return &wrapper{} }
+	s.acks.New = func() interface{} {
+		a := &commitAck{}
+		a.fire = a.run
+		return a
+	}
+	s.execBatch = make([]int, cfg.ExecThreads)
 	return s
+}
+
+// dropRef releases one reference to w. The holder that drops the last
+// reference — a CC thread's release processing, the owning exec thread,
+// or the WAL commit ack — recycles the transaction (via its Free hook)
+// and returns the wrapper to the pool. The refs atomic orders every
+// holder's prior work before the recycle, so a pooled transaction can
+// never alias a live completion.
+//
+//orthrus:recycle the final reference holder frees the txn and wrapper; all other observers have decremented first
+func (s *runState) dropRef(w *wrapper) {
+	if w.refs.Add(-1) != 0 {
+		return
+	}
+	if t := w.t; t != nil && t.Free != nil {
+		t.Free()
+	}
+	s.putWrapper(w)
+}
+
+// putWrapper returns a wrapper whose references are all gone (or that
+// was never published to the CC plane) to the pool.
+//
+//orthrus:recycle caller guarantees no thread still holds the wrapper
+func (s *runState) putWrapper(w *wrapper) {
+	w.t, w.done = nil, nil
+	w.hopIdx, w.pending = 0, 0
+	w.resetPlan()
+	s.wraps.Put(w)
+}
+
+// commitAck is the pooled durable-commit acknowledgment: it replaces the
+// per-commit closure deferCommit used to allocate. fire is bound once
+// (to run) when the ack is created, so reuse costs nothing.
+type commitAck struct {
+	x    *execThread
+	w    *wrapper
+	fire func()
+}
+
+// run fires the completion from the WAL flusher: latency (honestly
+// including the flush stall), the session callback, the in-flight gauge.
+// It holds one of the wrapper's references, dropped last — so the
+// transaction cannot be recycled before this, its final observer, is
+// done with w.start and w.done.
+//
+//orthrus:recycle the ack returns to the pool after its one-shot fire; the wrapper reference is dropped after the ack no longer holds it
+func (a *commitAck) run() {
+	x, w := a.x, a.w
+	a.x, a.w = nil, nil
+	x.s.acks.Put(a)
+	x.stats.Latency.Record(time.Since(w.start))
+	if w.done != nil {
+		w.done(true)
+	}
+	x.ses.inflight.Done()
+	x.s.dropRef(w)
 }
 
 // Run implements engine.Engine via the shared closed-loop driver.
@@ -616,6 +732,7 @@ func (ses *session) Close() metrics.Result {
 		EnqueueOps: ses.s.nEnqOps.Load(),
 		DequeueOps: ses.s.nDeqOps.Load(),
 		PerCC:      ses.perCCStats(),
+		ExecBatch:  append([]int(nil), ses.s.execBatch...),
 	}
 	if ses.ctrl != nil {
 		ses.e.ctrl = ses.ctrl.stats
@@ -680,10 +797,13 @@ type execThread struct {
 
 	// Two-level routing state: lastEpoch is the newest routing epoch this
 	// thread has observed (an epoch bump replays parked transactions),
-	// pidBuf is per-plan scratch holding each op's logical partition, and
-	// parked holds submissions quiesced by an in-progress migration.
+	// pidBuf is per-plan scratch holding each op's logical partition,
+	// countBuf the per-CC op-count scratch for engines wider than plan's
+	// stack array, and parked holds submissions quiesced by an
+	// in-progress migration.
 	lastEpoch uint64
 	pidBuf    []int32
+	countBuf  []int
 	parked    []parkedTxn
 
 	// Batched message plane: acquires and releases generated within one
@@ -691,8 +811,11 @@ type execThread struct {
 	// published with one ring operation per batch. scratch is the batched
 	// grant-drain buffer; it is safe to reuse across handleGrant calls
 	// because flushing never consumes messages (see flushOutbox), so
-	// drainGrants can never re-enter while iterating it.
+	// drainGrants can never re-enter while iterating it. bc, when
+	// non-nil (Config.BatchSize=0), retunes batch each loop pass.
 	batch   int
+	bc      *batchController
+	pushed  int // messages pushed in the current loop pass (bc's volume signal)
 	out     [][]message
 	scratch []message
 	ops     opCounter
@@ -706,6 +829,12 @@ type execThread struct {
 
 func newExecThread(ses *session, id int, stats *metrics.ThreadStats) *execThread {
 	cfg := ses.s.cfg
+	batch, maxBatch := cfg.BatchSize, cfg.BatchSize
+	var bc *batchController
+	if cfg.BatchSize == 0 {
+		bc = newBatchController()
+		batch, maxBatch = bc.batch, maxAdaptiveBatch
+	}
 	x := &execThread{
 		s:         ses.s,
 		ses:       ses,
@@ -715,9 +844,13 @@ func newExecThread(ses *session, id int, stats *metrics.ThreadStats) *execThread
 		ctx:       engine.PlannedCtx{DB: cfg.DB, Stats: stats, Versions: engine.VersionedView(cfg.DB)},
 		window:    cfg.Inflight,
 		lastEpoch: ses.s.rt.Load().epoch,
-		batch:     cfg.BatchSize,
+		batch:     batch,
+		bc:        bc,
 		out:       make([][]message, cfg.CCThreads),
-		scratch:   make([]message, cfg.BatchSize),
+		scratch:   make([]message, maxBatch),
+	}
+	if cfg.CCThreads > 64 {
+		x.countBuf = make([]int, cfg.CCThreads)
 	}
 	if cfg.Wal.Enabled() {
 		x.wal = cfg.Wal.NewAppender(stats)
@@ -782,6 +915,16 @@ func (x *execThread) loop() {
 		// another thread's transaction.
 		x.flushAll()
 
+		// Retune the adaptive batch from this pass's publish volume: if
+		// active passes keep filling the batch before this flush, grow to
+		// amortize more ring traffic; if they publish half a batch or
+		// less, the batch is pure delay — shrink toward the unbatched
+		// plane so a lone acquire publishes — and acknowledges — sooner.
+		if x.bc != nil {
+			x.batch = x.bc.observe(x.pushed, progress)
+			x.pushed = 0
+		}
+
 		if x.inflight == 0 && len(x.parked) == 0 && x.ses.execStop.Load() && len(x.ses.submit) == 0 {
 			// Close drains all submissions before setting execStop, so
 			// nothing can arrive after this check; flushAll above has
@@ -789,6 +932,7 @@ func (x *execThread) loop() {
 			// cannot be stranded: Close stops the controller first, and
 			// every migration ends by publishing an epoch with no held
 			// partitions.
+			x.s.execBatch[x.id] = x.batch
 			return
 		}
 		if progress {
@@ -860,6 +1004,11 @@ func (x *execThread) submit(t *txn.Txn, done func(bool), start time.Time) {
 			done(true)
 		}
 		x.ses.inflight.Done()
+		if t.Free != nil {
+			// Last observer done (the snapshot read set copies out of
+			// storage, so nothing retains t): recycle it.
+			t.Free()
+		}
 		return
 	}
 	// Declared ranges decompose into stripe (gap) lock ops here, before
@@ -871,18 +1020,23 @@ func (x *execThread) submit(t *txn.Txn, done func(bool), start time.Time) {
 	// duplicates SortOps removes.
 	engine.MaterializeRanges(x.s.cfg.DB, t)
 	t.SortOps()
-	w := &wrapper{t: t, owner: x.id, start: start, done: done}
+	w := x.s.wraps.Get().(*wrapper)
+	w.t, w.owner, w.start, w.done = t, x.id, start, done
 
 	for {
 		rt := x.s.rt.Load()
 		if !x.plan(w, rt) {
 			// A quiesced partition: hold the transaction until the
-			// migration publishes its new epoch.
+			// migration publishes its new epoch. The wrapper was never
+			// published, so this thread is its only holder.
 			x.parked = append(x.parked, parkedTxn{t: t, done: done, start: start})
+			x.s.putWrapper(w)
 			return
 		}
 		if len(w.hops) == 0 {
-			// No declared ops: nothing to lock, run immediately.
+			// No declared ops: nothing to lock, run immediately. The only
+			// references are this thread's and, when durable, the ack's.
+			w.refs.Store(1)
 			x.finish(w)
 			return
 		}
@@ -891,11 +1045,14 @@ func (x *execThread) submit(t *txn.Txn, done func(bool), start time.Time) {
 			// Epoch changed between planning and registration; the drain
 			// barrier may already have passed this slot. Replan.
 			x.s.epochs.add(rt.epoch, -1)
-			w.hops, w.opsByCC, w.reqs = nil, nil, nil
+			w.resetPlan()
 			continue
 		}
 		w.epoch = rt.epoch
 		w.releasesLeft.Store(int32(len(w.hops)))
+		// One reference per CC hop (dropped as each processes its
+		// release) plus this thread's, dropped at the end of finish.
+		w.refs.Store(int32(len(w.hops)) + 1)
 		break
 	}
 
@@ -915,13 +1072,14 @@ func (x *execThread) plan(w *wrapper, rt *routingTable) bool {
 	t := w.t
 	ncc := x.s.cfg.CCThreads
 	if cap(x.pidBuf) < len(t.Ops) {
+		//orthrus:allow(noalloc) per-thread scratch growth: reaches the largest op count seen, then stabilizes
 		x.pidBuf = make([]int32, len(t.Ops))
 	}
 	pids := x.pidBuf[:len(t.Ops)]
 	var counts [64]int
 	countSlice := counts[:]
 	if ncc > len(countSlice) {
-		countSlice = make([]int, ncc)
+		countSlice = x.countBuf // preallocated for engines wider than 64 CC
 	} else {
 		countSlice = countSlice[:ncc]
 	}
@@ -937,18 +1095,34 @@ func (x *execThread) plan(w *wrapper, rt *routingTable) bool {
 		if countSlice[c] == 0 {
 			continue
 		}
-		ops := make([]txn.Op, 0, countSlice[c])
+		// Re-extend opsByCC within capacity where a previous life (or
+		// plan attempt) left an inner buffer to reuse; append only when
+		// the wrapper has never been this wide.
+		n := len(w.hops)
+		w.hops = append(w.hops, c)
+		if n < cap(w.opsByCC) {
+			w.opsByCC = w.opsByCC[:n+1]
+		} else {
+			w.opsByCC = append(w.opsByCC, nil)
+		}
+		buf := w.opsByCC[n][:0]
 		for i, op := range t.Ops {
 			if int(rt.owner[pids[i]]) == c {
-				ops = append(ops, op)
+				buf = append(buf, op)
 			}
 		}
-		w.hops = append(w.hops, c)
-		w.opsByCC = append(w.opsByCC, ops)
-		w.reqs = append(w.reqs, nil)
+		w.opsByCC[n] = buf
+		if n < cap(w.reqs) {
+			w.reqs = w.reqs[:n+1]
+			w.reqs[n] = w.reqs[n][:0]
+		} else {
+			w.reqs = append(w.reqs, nil)
+		}
 		countSlice[c] = 0
 	}
-	t.Hops = w.hops
+	// Copy, not alias: the wrapper is recycled at the last release while
+	// a pooled transaction may outlive it (e.g. across an OLLP replan).
+	t.Hops = append(t.Hops[:0], w.hops...)
 	t.RouteEpoch = rt.epoch
 	return true
 }
@@ -958,6 +1132,7 @@ func (x *execThread) plan(w *wrapper, rt *routingTable) bool {
 // published immediately — exactly the unbatched message plane.
 func (x *execThread) push(c int, m message) {
 	x.out[c] = append(x.out[c], m)
+	x.pushed++
 	if len(x.out[c]) >= x.batch {
 		x.flushDest(c)
 	}
@@ -1036,6 +1211,10 @@ func (x *execThread) finish(w *wrapper) {
 		// immediately and CC threads never wait on a sync.
 		var ack func()
 		if x.wal != nil {
+			// The ack observes w.start/w.done from the flusher goroutine;
+			// its reference keeps the wrapper (and transaction) alive
+			// until after it fires.
+			w.refs.Add(1)
 			ack = x.deferCommit(w)
 		}
 		engine.CommitVersions(x.wal, &x.ses.e.clock, &x.ctx.VSet, x.stats, ack)
@@ -1051,6 +1230,7 @@ func (x *execThread) finish(w *wrapper) {
 			}
 			x.ses.inflight.Done()
 		}
+		x.s.dropRef(w)
 		return
 	}
 	if err != txn.ErrEstimateMiss {
@@ -1069,26 +1249,30 @@ func (x *execThread) finish(w *wrapper) {
 		panic("orthrus: estimate miss without Replan hook")
 	}
 	t.Replan(t)
-	t.Partitions = nil
-	x.submit(t, w.done, w.start)
+	t.Partitions = t.Partitions[:0] // invalidate the cached partition set
+	done, start := w.done, w.start
+	// The transaction travels to a fresh wrapper; clear t so the final
+	// reference drop recycles only the wrapper. CC release processing
+	// never reads w.t, and dropRef's zero-reader is ordered after this
+	// store by the refs decrement chain.
+	w.t = nil
+	x.s.dropRef(w)
+	x.submit(t, done, start)
 }
 
-// deferCommit builds the durable-commit acknowledgment for w: run by the
-// WAL flusher once the redo record is synced, in LSN order. Latency then
-// honestly includes the flush stall. Latency.Record is safe from the
-// flusher goroutine: while a WAL is on, this thread's histogram is
+// deferCommit returns the durable-commit acknowledgment for w: run by
+// the WAL flusher once the redo record is synced, in LSN order. Latency
+// then honestly includes the flush stall. Latency.Record is safe from
+// the flusher goroutine: while a WAL is on, this thread's histogram is
 // written by the flusher's acks plus the rare read-only inline fast
 // path, which wal.Appender.Commit takes only when every earlier ack of
 // this appender has already fired (see its comment); the gauges are
-// atomics.
+// atomics. The ack comes from a pool (commitAck) with its fire func
+// pre-bound, so the steady-state commit path allocates nothing.
 func (x *execThread) deferCommit(w *wrapper) func() {
-	return func() {
-		x.stats.Latency.Record(time.Since(w.start))
-		if w.done != nil {
-			w.done(true)
-		}
-		x.ses.inflight.Done()
-	}
+	a := x.s.acks.Get().(*commitAck)
+	a.x, a.w = x, w
+	return a.fire
 }
 
 // release notifies every CC thread in the chain. Fire-and-forget: release

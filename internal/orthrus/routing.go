@@ -72,12 +72,19 @@ const epochSlots = 8
 // therefore means no transaction planned under that epoch holds locks
 // *and* no message referencing one is still in any ring — the guarantee
 // the migration protocol's shard handoff rests on.
+// Each slot is padded to 128 bytes: adjacent epochs' counters are bumped
+// by different threads (exec threads increment the current epoch while CC
+// threads decrement the draining one), and packed atomics would
+// false-share across the migration window.
 type epochGauge struct {
-	slots [epochSlots]atomic.Int64
+	slots [epochSlots]struct {
+		n atomic.Int64
+		_ [120]byte
+	}
 }
 
 func (g *epochGauge) add(epoch uint64, d int64) {
-	g.slots[epoch%epochSlots].Add(d)
+	g.slots[epoch%epochSlots].n.Add(d)
 }
 
 // drainedExcept reports whether every epoch slot other than the given
@@ -88,7 +95,7 @@ func (g *epochGauge) drainedExcept(epoch uint64) bool {
 		if uint64(i) == cur {
 			continue
 		}
-		if g.slots[i].Load() != 0 {
+		if g.slots[i].n.Load() != 0 {
 			return false
 		}
 	}

@@ -160,7 +160,13 @@ func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats, c
 	// derived from the declared access set. Ascending order keeps
 	// partition-lock acquisition deadlock-free; generator-provided
 	// sets carry no ordering guarantee, so sort unconditionally.
-	parts := t.PartitionSet(e.cfg.Partition)
+	// Copy the footprint out of the transaction: after comp.Defer() below
+	// hands ownership to the WAL flusher, the ack may fire — and t be
+	// recycled by its producer — while the unlock loop is still running, so
+	// the loop must iterate worker-owned memory, never t.Partitions.
+	//orthrus:recycle unlock loop runs after Defer; parts is a worker-owned copy of t.Partitions
+	parts := append(ctx.lockBuf[:0], t.PartitionSet(e.cfg.Partition)...)
+	ctx.lockBuf = parts
 	sort.Ints(parts)
 
 	// Chained timestamps: each phase boundary is read once (clock reads
@@ -206,14 +212,15 @@ func (e *Engine) execute(ctx *execCtx, t *txn.Txn, stats *metrics.ThreadStats, c
 // exactly the H-Store execution model. A non-nil wal appender captures
 // the redo write set.
 type execCtx struct {
-	db    *storage.DB
-	t     *txn.Txn
-	wal   *wal.Appender
-	stats *metrics.ThreadStats
-	pf    txn.PartitionFunc
-	parts []int                     // partitions locked for the current transaction, ascending
-	vts   []*storage.VersionedTable // VersionedView(DB); nil without versioned tables
-	vset  engine.VersionSet
+	db      *storage.DB
+	t       *txn.Txn
+	wal     *wal.Appender
+	stats   *metrics.ThreadStats
+	pf      txn.PartitionFunc
+	parts   []int                     // partitions locked for the current transaction, ascending (worker-owned copy)
+	lockBuf []int                     // backing array for parts, reused across transactions
+	vts     []*storage.VersionedTable // VersionedView(DB); nil without versioned tables
+	vset    engine.VersionSet
 }
 
 // Read implements txn.Ctx.

@@ -94,6 +94,7 @@ func (t *VersionedTable) Insert(key uint64, value []byte) error {
 // mutex or CommitClock publication order — that no snapshot at or above
 // lsn can begin until InstallVersion returns.
 func (t *VersionedTable) InstallVersion(key, lsn uint64) {
+	//orthrus:allow(noalloc) inherent MVCC cost: one version node per commit, on versioned tables only
 	n := &Version{lsn: lsn, data: make([]byte, t.RecordSize())}
 	copy(n.data, t.FixedTable.Get(key))
 	head := &t.chains[key]

@@ -55,9 +55,14 @@ func RangePartitioner(n int, span uint64) PartitionFunc {
 // level (logical partition → CC thread) must instead be revalidated
 // against the routing epoch it was computed under — see Txn.RouteEpoch.
 func (t *Txn) PartitionSet(pf PartitionFunc) []int {
-	if t.Partitions != nil {
+	// Pooled transactions reset Partitions to a zero-length slice (keeping
+	// the backing array), so emptiness — not nilness — marks a cold cache.
+	// A transaction that genuinely touches no partitions recomputes, which
+	// is harmless: the recomputation also yields nothing.
+	if len(t.Partitions) > 0 {
 		return t.Partitions
 	}
+	t.Partitions = t.Partitions[:0]
 	var set [64]bool
 	var overflow map[int]bool
 	mark := func(p int) {

@@ -17,6 +17,7 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -199,6 +200,15 @@ type Txn struct {
 	// footprint is needed) but should still describe the reads for the
 	// locking fallback.
 	ReadOnly bool
+	// Free, when non-nil, recycles the transaction into its producer's
+	// pool. The engine calls it exactly once, after the completion
+	// callback and every other observer (WAL commit ack, CC release
+	// processing, metrics recording) is finished with the transaction —
+	// the //orthrus:recycle ownership-transfer convention. After Free
+	// returns, the producer may hand the same *Txn to another caller, so
+	// no engine structure may retain it (or alias its slices). Producers
+	// that do not pool leave Free nil and rely on the GC.
+	Free func()
 
 	// engine scratch, reset by engines between runs
 	Pending int32 // ORTHRUS: locks not yet granted at the current CC thread
@@ -220,7 +230,18 @@ func (t *Txn) SortOps() {
 	if len(t.Ops) < 2 {
 		return
 	}
-	sort.Slice(t.Ops, func(i, j int) bool { return t.Ops[i].Less(t.Ops[j]) })
+	// slices.SortFunc with a capture-free comparator: unlike sort.Slice
+	// (whose interface value and closure escape), this compiles to a
+	// static call and keeps the hot path allocation-free.
+	slices.SortFunc(t.Ops, func(a, b Op) int {
+		if a.Less(b) {
+			return -1
+		}
+		if b.Less(a) {
+			return 1
+		}
+		return 0
+	})
 	out := t.Ops[:1]
 	for _, op := range t.Ops[1:] {
 		last := &out[len(out)-1]

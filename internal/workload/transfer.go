@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/txn"
 )
@@ -21,6 +22,58 @@ type Transfer struct {
 	HotRecords uint64
 }
 
+// transferTxn is the pooled carrier for one transfer transaction: the Txn,
+// its two-op access set, and the logic's parameters live in one recycled
+// allocation. Logic and Free are method values bound once when the pool
+// creates the container, so a steady-state Next performs zero allocations.
+type transferTxn struct {
+	txn.Txn
+	table int
+	a, b  uint64
+	ops   [2]txn.Op
+}
+
+var transferPool sync.Pool
+
+func init() {
+	// Assigned in init, not a composite literal: New references methods
+	// that reference the pool back (an initialization cycle at package
+	// scope).
+	transferPool.New = func() interface{} {
+		t := &transferTxn{}
+		t.Logic = t.run
+		t.Free = t.free
+		return t
+	}
+}
+
+func (t *transferTxn) run(ctx txn.Ctx) error {
+	src, err := ctx.Write(t.table, t.a)
+	if err != nil {
+		return err
+	}
+	dst, err := ctx.Write(t.table, t.b)
+	if err != nil {
+		return err
+	}
+	putU64(src, getU64(src)-1)
+	putU64(dst, getU64(dst)+1)
+	return nil
+}
+
+// free implements txn.Txn.Free: the engine has already run the completion
+// callback and every other observer, so the container can be recycled.
+//
+//orthrus:recycle engine calls Free exactly once, after the last observer of the transaction
+func (t *transferTxn) free() {
+	t.ID = 0
+	t.Restarts = 0
+	t.ReadOnly = false
+	t.Partitions = t.Partitions[:0]
+	t.ResetScratch()
+	transferPool.Put(t)
+}
+
 // Next implements Source.
 func (c *Transfer) Next(_ int, rng *rand.Rand) *txn.Txn {
 	n := c.NumRecords
@@ -35,24 +88,12 @@ func (c *Transfer) Next(_ int, rng *rand.Rand) *txn.Txn {
 	if b >= a {
 		b++
 	}
-	t := &txn.Txn{Ops: []txn.Op{
-		{Table: c.Table, Key: a, Mode: txn.Write},
-		{Table: c.Table, Key: b, Mode: txn.Write},
-	}}
-	t.Logic = func(ctx txn.Ctx) error {
-		src, err := ctx.Write(c.Table, a)
-		if err != nil {
-			return err
-		}
-		dst, err := ctx.Write(c.Table, b)
-		if err != nil {
-			return err
-		}
-		putU64(src, getU64(src)-1)
-		putU64(dst, getU64(dst)+1)
-		return nil
-	}
-	return t
+	t := transferPool.Get().(*transferTxn)
+	t.table, t.a, t.b = c.Table, a, b
+	t.ops[0] = txn.Op{Table: c.Table, Key: a, Mode: txn.Write}
+	t.ops[1] = txn.Op{Table: c.Table, Key: b, Mode: txn.Write}
+	t.Ops = t.ops[:2]
+	return &t.Txn
 }
 
 // Zipf draws keys from a Zipfian distribution, the standard YCSB skew

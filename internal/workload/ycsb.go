@@ -21,6 +21,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/txn"
 )
@@ -167,6 +168,76 @@ func (c *YCSB) Validate() error {
 	return nil
 }
 
+// ycsbTxn is the pooled carrier for one point-access YCSB transaction:
+// the Txn, the op/seen-key/partition scratch the generator fills, and the
+// generator pointer the logic needs all live in one recycled allocation.
+// Logic and Free are method values bound once at pool creation, so a
+// steady-state Next performs zero allocations. Scan and Zipf transactions
+// are not pooled (their shapes vary and their rates are low); they keep
+// the allocating path with Free nil.
+type ycsbTxn struct {
+	txn.Txn
+	src  *YCSB
+	ops  []txn.Op // backing array for Ops, capacity kept across lives
+	seen []uint64 // distinct-key scratch
+}
+
+var ycsbPool sync.Pool
+
+func init() {
+	// Assigned in init, not a composite literal: New references methods
+	// that reference the pool back (an initialization cycle at package
+	// scope).
+	ycsbPool.New = func() interface{} {
+		t := &ycsbTxn{}
+		t.Logic = t.run
+		t.Free = t.free
+		return t
+	}
+}
+
+// run is the RMW/read body, identical to YCSB.logic but reading its
+// parameters from the container instead of a per-transaction closure.
+func (t *ycsbTxn) run(ctx txn.Ctx) error {
+	work := t.src.WorkPerOp
+	var sink uint64
+	for _, op := range t.Ops {
+		if op.Mode == txn.Read {
+			rec, err := ctx.Read(op.Table, op.Key)
+			if err != nil {
+				return err
+			}
+			sink += getU64(rec)
+		} else {
+			rec, err := ctx.Write(op.Table, op.Key)
+			if err != nil {
+				return err
+			}
+			putU64(rec, getU64(rec)+1)
+		}
+		for i := 0; i < work; i++ {
+			sink += uint64(i)
+		}
+	}
+	if sink == ^uint64(0) { // defeat dead-code elimination
+		return fmt.Errorf("workload: impossible checksum")
+	}
+	return nil
+}
+
+// free implements txn.Txn.Free: the engine has already run the completion
+// callback and every other observer, so the container can be recycled.
+//
+//orthrus:recycle engine calls Free exactly once, after the last observer of the transaction
+func (t *ycsbTxn) free() {
+	t.ID = 0
+	t.Restarts = 0
+	t.ReadOnly = false
+	t.Partitions = t.Partitions[:0]
+	t.ResetScratch()
+	ycsbPool.Put(t)
+}
+
 // Next implements Source.
 func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
 	mode := txn.Write
@@ -196,9 +267,14 @@ func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
 		spread = 1
 	}
 
+	t := ycsbPool.Get().(*ycsbTxn)
+	t.src = c
+	t.ReadOnly = snapshot
+
 	var parts []int
 	if spread > 0 {
-		parts = pickDistinctInts(rng, spread, c.Partitions)
+		t.Partitions = pickDistinctInts(t.Partitions[:0], rng, spread, c.Partitions)
+		parts = t.Partitions
 	}
 
 	hotOps := 0
@@ -206,8 +282,8 @@ func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
 		hotOps = c.HotOps
 	}
 
-	ops := make([]txn.Op, 0, c.OpsPerTxn)
-	seen := make([]uint64, 0, c.OpsPerTxn)
+	ops := t.ops[:0]
+	seen := t.seen[:0]
 	for i := 0; i < c.OpsPerTxn; i++ {
 		var part = -1
 		if parts != nil {
@@ -235,10 +311,9 @@ func (c *YCSB) Next(_ int, rng *rand.Rand) *txn.Txn {
 		seen = append(seen, key)
 		ops = append(ops, txn.Op{Table: c.Table, Key: key, Mode: mode})
 	}
-
-	t := &txn.Txn{Ops: ops, Partitions: parts, ReadOnly: snapshot}
-	t.Logic = c.logic(t)
-	return t
+	t.ops, t.seen = ops, seen
+	t.Ops = ops
+	return &t.Txn
 }
 
 // scanTxn builds one YCSB-E range scan: a uniform start key, a length
@@ -357,15 +432,17 @@ func contains(s []uint64, v uint64) bool {
 	return false
 }
 
-func pickDistinctInts(rng *rand.Rand, k, n int) []int {
+// pickDistinctInts appends k distinct values from [0, n) to buf (which may
+// carry reusable capacity from a pooled container) and returns the result.
+func pickDistinctInts(buf []int, rng *rand.Rand, k, n int) []int {
 	if k >= n {
-		out := make([]int, n)
-		for i := range out {
-			out[i] = i
+		out := buf
+		for i := 0; i < n; i++ {
+			out = append(out, i)
 		}
 		return out
 	}
-	out := make([]int, 0, k)
+	out := buf
 	for len(out) < k {
 		v := rng.Intn(n)
 		dup := false

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is active; see
+// race_off_test.go.
+const raceEnabled = true
