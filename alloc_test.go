@@ -115,6 +115,61 @@ func TestSubmitAllocsWALBounded(t *testing.T) {
 	}
 }
 
+// TestSubmitAllocsWithCheckpointerBounded: a live fuzzy checkpointer —
+// walking the table, sealing pages, committing manifests and truncating
+// segments every few milliseconds while the measurement runs — must not
+// add allocations to the Submit→ack hot path beyond the WAL bound. The
+// checkpointer's own cold-path allocations (page copies into the store,
+// manifest encoding) amortize across the measured ops and stay far under
+// the bound; anything per-transaction would blow straight through it.
+func TestSubmitAllocsWithCheckpointerBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode: sync.Pool drops Puts by design, allocation counts are not meaningful")
+	}
+	const bound = 16.0
+	const n, threads = 64, 2
+	type entry struct {
+		rt  repro.System
+		db  *repro.DB
+		tbl int
+	}
+	var systems []entry
+	build := func(f func(db *repro.DB, wal *repro.WAL, ck repro.CheckpointConfig) repro.System) {
+		db, tbl := newAccountDB(t, n, 1000)
+		wal := repro.NewWAL(repro.NewWALMemSegments(64<<10), repro.WALGroup(4, time.Millisecond))
+		ck := repro.CheckpointConfig{Store: repro.NewMemCheckpointStore(), Interval: 5 * time.Millisecond}
+		systems = append(systems, entry{f(db, wal, ck), db, tbl})
+	}
+	build(func(db *repro.DB, wal *repro.WAL, ck repro.CheckpointConfig) repro.System {
+		return repro.NewOrthrus(repro.OrthrusConfig{DB: db, CCThreads: 2, ExecThreads: 2, Wal: wal, Checkpoint: ck})
+	})
+	build(func(db *repro.DB, wal *repro.WAL, ck repro.CheckpointConfig) repro.System {
+		return repro.NewTwoPL(repro.TwoPLConfig{DB: db, Handler: repro.WaitDie(), Threads: threads, Wal: wal, Checkpoint: ck})
+	})
+	build(func(db *repro.DB, wal *repro.WAL, ck repro.CheckpointConfig) repro.System {
+		return repro.NewDeadlockFree(repro.DeadlockFreeConfig{DB: db, Threads: threads, Wal: wal, Checkpoint: ck})
+	})
+	build(func(db *repro.DB, wal *repro.WAL, ck repro.CheckpointConfig) repro.System {
+		return repro.NewPartitionedStore(repro.PartitionedStoreConfig{DB: db, Partitions: threads, Wal: wal, Checkpoint: ck})
+	})
+	for _, e := range systems {
+		t.Run(e.rt.Name(), func(t *testing.T) {
+			ses := e.rt.Start()
+			src := &repro.Transfer{Table: e.tbl, NumRecords: 64}
+			allocs := measureSubmitAllocs(ses, src)
+			stats := ses.(repro.CheckpointedSession).CheckpointStats()
+			ses.Drain()
+			ses.Close()
+			if stats.Checkpoints == 0 {
+				t.Fatalf("%s: checkpointer never ran during the measurement", e.rt.Name())
+			}
+			if allocs > bound {
+				t.Errorf("%s: %.1f allocs per Submit→ack with live checkpointer, want <= %.0f", e.rt.Name(), allocs, bound)
+			}
+		})
+	}
+}
+
 // TestPoolReuseSafety proves the recycling protocol under the race
 // detector: for every submission, the completion callback must fire
 // strictly before Free (the engine's last-observer contract), and a

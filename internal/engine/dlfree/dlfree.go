@@ -47,6 +47,10 @@ type Config struct {
 	// versioned tables: ReadOnly transactions then skip declared-set
 	// lock acquisition entirely and read at the commit frontier.
 	Snapshot engine.SnapshotConfig
+	// Checkpoint, when its Store is set, runs a background fuzzy
+	// checkpointer over the session (requires an enabled Wal); see
+	// engine.CheckpointConfig.
+	Checkpoint engine.CheckpointConfig
 }
 
 // Engine is the deadlock-free ordered-locking engine.
@@ -67,6 +71,7 @@ func (c Config) Validate() {
 		panic(fmt.Sprintf("dlfree: Buckets must not be negative (got %d; 0 means default)", c.Buckets))
 	}
 	c.Snapshot.Validate()
+	c.Checkpoint.Validate()
 }
 
 // New builds the engine.
@@ -95,7 +100,7 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 // Start implements engine.Runtime.
 func (e *Engine) Start() engine.Session {
 	snaps := engine.NewSnapshots(e.cfg.DB, e.cfg.Wal, &e.clock, e.cfg.Threads, e.cfg.Snapshot)
-	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
+	ses := engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
 		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn, *engine.Completion) {
 			w := &dlfreeWorker{
 				eng:    e,
@@ -110,6 +115,7 @@ func (e *Engine) Start() engine.Session {
 			}
 			return w.execute
 		})
+	return engine.WithCheckpointer(ses, e.cfg.DB, e.cfg.Wal, e.cfg.Checkpoint)
 }
 
 // Clients implements engine.Runtime.

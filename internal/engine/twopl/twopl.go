@@ -45,6 +45,10 @@ type Config struct {
 	// versioned tables: ReadOnly transactions then bypass the lock table
 	// entirely and read at the commit frontier.
 	Snapshot engine.SnapshotConfig
+	// Checkpoint, when its Store is set, runs a background fuzzy
+	// checkpointer over the session (requires an enabled Wal); see
+	// engine.CheckpointConfig.
+	Checkpoint engine.CheckpointConfig
 }
 
 // Engine is a conventional dynamic-2PL execution engine.
@@ -66,6 +70,7 @@ func (c Config) Validate() {
 	}
 	_ = c.MaxRetries // every value is legal: <=0 means retry until commit
 	c.Snapshot.Validate()
+	c.Checkpoint.Validate()
 }
 
 // New builds the engine and its shared lock table.
@@ -94,7 +99,7 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 // Start implements engine.Runtime.
 func (e *Engine) Start() engine.Session {
 	snaps := engine.NewSnapshots(e.cfg.DB, e.cfg.Wal, &e.clock, e.cfg.Threads, e.cfg.Snapshot)
-	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
+	ses := engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
 		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn, *engine.Completion) {
 			ids := engine.NewIDSource(thread)
 			ctx := &execCtx{eng: e, thread: thread, stats: stats,
@@ -117,6 +122,7 @@ func (e *Engine) Start() engine.Session {
 				e.execute(ctx, t, stats, comp)
 			}
 		})
+	return engine.WithCheckpointer(ses, e.cfg.DB, e.cfg.Wal, e.cfg.Checkpoint)
 }
 
 // Clients implements engine.Runtime: two submitters per worker keep the

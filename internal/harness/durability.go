@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/deadlock"
 	"repro/internal/engine"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/engine/twopl"
 	"repro/internal/orthrus"
 	"repro/internal/partstore"
+	"repro/internal/storage"
 	"repro/internal/tpcc"
 	"repro/internal/wal"
 	"repro/internal/workload"
@@ -44,7 +46,11 @@ func durability(c Config) {
 	}
 	cc, exec := ccSplit(threads)
 
-	run := func(workloadName string, names []string, build func(sys string, log *wal.Log) (engine.Engine, workload.Source)) {
+	// rebuild, when non-nil, returns a fresh database holding the
+	// workload's initial state; the first engine's log is then replayed
+	// onto it and the wall-clock recovery time reported per policy row —
+	// the restart-cost column the recovery experiment explores in depth.
+	run := func(workloadName string, names []string, rebuild func() *storage.DB, build func(sys string, log *wal.Log) (engine.Engine, workload.Source)) {
 		fmt.Fprintf(c.Out, "\n%s workload (%d threads):\n", workloadName, threads)
 		fmt.Fprintf(c.Out, "%-18s", "policy")
 		for _, s := range names {
@@ -56,21 +62,30 @@ func durability(c Config) {
 			p99 := make([]int64, 0, len(names))
 			var logShare float64
 			var st wal.Stats
+			recoveryMs := -1.0
 			for _, sys := range names {
 				var log *wal.Log
+				var dev *wal.MemDevice
 				if policy.Mode != wal.SyncOff {
-					log = wal.NewLog(wal.NewMemDevice(), policy)
+					dev = wal.NewMemDevice()
+					log = wal.NewLog(dev, policy)
 				}
 				eng, src := build(sys, log)
 				res := point(c, eng, src)
 				tps = append(tps, res.Throughput())
 				p99 = append(p99, res.Totals.Latency.Percentile(99).Microseconds())
-				if sys == names[0] {
+				first := sys == names[0]
+				if first {
 					_, _, _, logShare = res.Totals.Breakdown()
 					st = log.Stats()
 				}
 				if err := log.Close(); err != nil {
 					panic(err)
+				}
+				if first && dev != nil && rebuild != nil {
+					t0 := time.Now()
+					wal.Replay(dev.Contents(), rebuild())
+					recoveryMs = float64(time.Since(t0).Microseconds()) / 1000
 				}
 			}
 			fmt.Fprintf(c.Out, "%-18s", policy)
@@ -85,12 +100,18 @@ func durability(c Config) {
 			if policy.Mode != wal.SyncOff {
 				fmt.Fprintf(c.Out, "   [%s: %d recs / %d syncs = %.1f recs/sync, log=%.1f%%]",
 					names[0], st.Records, st.Syncs, float64(st.Records)/max(1, float64(st.Syncs)), logShare)
+				if recoveryMs >= 0 {
+					fmt.Fprintf(c.Out, " [recovery=%.1fms]", recoveryMs)
+				}
 			}
 			fmt.Fprintln(c.Out)
 			series := map[string]interface{}{}
 			for i, n := range names {
 				series[n] = tps[i]
 				series[n+"_p99_us"] = p99[i]
+			}
+			if recoveryMs >= 0 {
+				series["recovery_ms"] = recoveryMs
 			}
 			c.JSONRow(map[string]interface{}{
 				"workload": workloadName, "x_label": "policy", "x": policy.String(),
@@ -100,6 +121,7 @@ func durability(c Config) {
 	}
 
 	run("transfer", []string{"orthrus", "dlfree", "2pl-waitdie", "partstore"},
+		func() *storage.DB { db, _ := newYCSBDB(c); return db },
 		func(sys string, log *wal.Log) (engine.Engine, workload.Source) {
 			db, tbl := newYCSBDB(c)
 			src := &workload.Transfer{Table: tbl, NumRecords: c.Records}
@@ -115,7 +137,10 @@ func durability(c Config) {
 			}
 		})
 
+	// TPC-C initial state is load-generated, not cheaply rebuildable here,
+	// so its rows carry no recovery column.
 	run("tpcc", []string{"orthrus", "dlfree", "2pl-dreadlocks"},
+		nil,
 		func(sys string, log *wal.Log) (engine.Engine, workload.Source) {
 			s := tpccSchema(c, 8)
 			src := &tpcc.Mix{S: s}

@@ -139,6 +139,7 @@ func Registry() []Experiment {
 		{"durability", "Extension", "throughput/latency vs WAL sync policy and group-commit size", durability},
 		{"scan", "Extension", "phantom-safe range-scan throughput/p99 vs scan fraction and length", scanExp},
 		{"htap", "Extension", "MVCC snapshot scans vs locking scans under a contended write mix", htapExp},
+		{"recovery", "Extension", "recovery time vs checkpoint interval; parallel vs serial replay", recoveryExp},
 	}
 }
 

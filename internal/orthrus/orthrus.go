@@ -166,6 +166,10 @@ type Config struct {
 	// the purest form of the paper's separation argument (the CC plane
 	// never hears about read-only traffic at all).
 	Snapshot engine.SnapshotConfig
+	// Checkpoint, when its Store is set, runs a background fuzzy
+	// checkpointer over the session (requires an enabled Wal); see
+	// engine.CheckpointConfig.
+	Checkpoint engine.CheckpointConfig
 }
 
 // CCStats is one CC thread's share of the message plane — the per-thread
@@ -355,6 +359,7 @@ func (c Config) Validate() {
 	}
 	c.Controller.Validate()
 	c.Snapshot.Validate()
+	c.Checkpoint.Validate()
 }
 
 // New validates the configuration and returns an engine.
@@ -682,7 +687,7 @@ func (e *Engine) Start() engine.Session {
 		ses.ctrl = newController(ses, e.cfg.Controller)
 		go ses.ctrl.loop()
 	}
-	return ses
+	return engine.WithCheckpointer(ses, e.cfg.DB, e.cfg.Wal, e.cfg.Checkpoint)
 }
 
 // Submit implements engine.Session. It blocks only when the submission

@@ -55,6 +55,10 @@ type Config struct {
 	// locks at all — the one access class that escapes the H-Store
 	// multi-partition serialization collapse.
 	Snapshot engine.SnapshotConfig
+	// Checkpoint, when its Store is set, runs a background fuzzy
+	// checkpointer over the session (requires an enabled Wal); see
+	// engine.CheckpointConfig.
+	Checkpoint engine.CheckpointConfig
 }
 
 // spinlock is a partition's test-and-set lock, padded to its own cache
@@ -96,6 +100,7 @@ func (c Config) Validate() {
 	}
 	_ = c.Threads // any value is legal: <=0 defaults to Partitions
 	c.Snapshot.Validate()
+	c.Checkpoint.Validate()
 }
 
 // New validates the configuration and returns an engine.
@@ -123,7 +128,7 @@ func (e *Engine) Run(src workload.Source, duration time.Duration) metrics.Result
 // Start implements engine.Runtime.
 func (e *Engine) Start() engine.Session {
 	snaps := engine.NewSnapshots(e.cfg.DB, e.cfg.Wal, &e.clock, e.cfg.Threads, e.cfg.Snapshot)
-	return engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
+	ses := engine.NewWorkerSession(e.Name(), e.cfg.Threads, e.Clients(), &e.inUse, e.cfg.Wal,
 		func(thread int, stats *metrics.ThreadStats) func(*txn.Txn, *engine.Completion) {
 			ids := engine.NewIDSource(thread)
 			ctx := &execCtx{db: e.cfg.DB, stats: stats, pf: e.cfg.Partition,
@@ -147,6 +152,7 @@ func (e *Engine) Start() engine.Session {
 				e.execute(ctx, t, stats, comp)
 			}
 		})
+	return engine.WithCheckpointer(ses, e.cfg.DB, e.cfg.Wal, e.cfg.Checkpoint)
 }
 
 // Clients implements engine.Runtime.

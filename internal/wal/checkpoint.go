@@ -1,0 +1,610 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Checkpoint image format.
+//
+// A checkpoint is a set of CRC'd pages — each page a run of (key, value)
+// records for one table — plus a manifest committed atomically last. The
+// manifest carries the two LSNs that make a fuzzy image usable:
+//
+//   - StartLSN: the last assigned LSN when the walk began. Every record
+//     in the image reflects a committed state at some LSN ≥ the state as
+//     of StartLSN, so replaying the log tail from StartLSN+1 cannot miss
+//     an update the image lacks.
+//   - TailLSN: the last assigned LSN when the walk ended. Every record in
+//     the image reflects a committed state at some LSN ≤ TailLSN, and the
+//     checkpointer waits for the durable frontier to reach TailLSN before
+//     committing the manifest — so every LSN the image may already
+//     include is on the device, and replaying it again over the image is
+//     the idempotent re-application of a full after-image.
+//
+// The manifest also records, per table, the page count, record count and
+// a CRC folded over the pages' CRCs, so a checkpoint whose pages were
+// torn or reordered fails validation as a unit and recovery falls back
+// to the previous checkpoint.
+
+// Page wire format (little-endian):
+//
+//	magic      uint16  — pageMagic
+//	reserved   uint16
+//	table      uint32  — DB table index
+//	count      uint32  — records in the payload
+//	payloadLen uint32  — payload bytes following the header
+//	crc        uint32  — CRC-32C over header[2:16] + payload
+//	payload    — count × (key uint64 | valLen uint32 | val)
+const (
+	pageMagic  = 0x57A2
+	pageHeader = 20
+)
+
+// manifestMagic/manifestVersion head the manifest encoding.
+const (
+	manifestMagic   = 0x4F434B50 // "OCKP"
+	manifestVersion = 1
+	manifestHeader  = 28 // magic + version + startLSN + tailLSN + nTables
+	tableImageSize  = 20 // table + pages + records + crc
+)
+
+// TableImage is one table's slice of a checkpoint: how many pages and
+// records the image holds for it, and a CRC folded over those pages'
+// CRCs in order.
+type TableImage struct {
+	Table   int
+	Pages   int
+	Records uint64
+	CRC     uint32
+}
+
+// Manifest describes one committed checkpoint; see the package-section
+// comment above for the StartLSN/TailLSN contract.
+type Manifest struct {
+	StartLSN uint64
+	TailLSN  uint64
+	Tables   []TableImage
+}
+
+// Checkpoint is a loaded, validated checkpoint image.
+type Checkpoint struct {
+	Manifest Manifest
+	Pages    [][]byte
+}
+
+// CheckpointWriter receives one checkpoint's pages and then either
+// commits them under a manifest or abandons them. Commit is the atomic
+// publication point: a checkpoint with no durable manifest does not
+// exist as far as Load is concerned.
+type CheckpointWriter interface {
+	Page(p []byte) error
+	Commit(m *Manifest) error
+	Abort()
+}
+
+// CheckpointStore persists checkpoints. Load returns the newest
+// checkpoint that validates (manifest decodes, page CRCs match, per-table
+// folds match) — falling back past a torn or corrupt newest checkpoint to
+// the previous one — or (nil, nil) when no valid checkpoint exists.
+// Stores retain the two newest committed checkpoints so that truncating
+// the log against the previous checkpoint's StartLSN (see the truncation
+// rule in engine.Checkpointer) never strands recovery without a usable
+// image.
+type CheckpointStore interface {
+	Begin() (CheckpointWriter, error)
+	Load() (*Checkpoint, error)
+}
+
+// checkpointsRetained is the store retention count; see CheckpointStore.
+const checkpointsRetained = 2
+
+// PageBuilder accumulates records for one table into a page. The zero
+// value is unusable; call Reset first. The builder reuses one internal
+// buffer across pages, so the slice returned by Seal is valid only until
+// the next Reset — stores copy it.
+type PageBuilder struct {
+	buf   []byte
+	table int
+	count int
+}
+
+// Reset starts a fresh page for table, discarding any unsealed content.
+func (b *PageBuilder) Reset(table int) {
+	b.buf = append(b.buf[:0], make([]byte, pageHeader)...)
+	b.table = table
+	b.count = 0
+}
+
+// Add appends one record to the page, copying val.
+func (b *PageBuilder) Add(key uint64, val []byte) {
+	var entry [12]byte
+	binary.LittleEndian.PutUint64(entry[0:8], key)
+	binary.LittleEndian.PutUint32(entry[8:12], uint32(len(val)))
+	b.buf = append(b.buf, entry[:]...)
+	b.buf = append(b.buf, val...)
+	b.count++
+}
+
+// Count reports how many records the current page holds.
+func (b *PageBuilder) Count() int { return b.count }
+
+// Seal fills in the header and CRC and returns the encoded page. The
+// returned slice aliases the builder's buffer.
+func (b *PageBuilder) Seal() []byte {
+	h := b.buf
+	payload := len(b.buf) - pageHeader
+	binary.LittleEndian.PutUint16(h[0:2], pageMagic)
+	binary.LittleEndian.PutUint16(h[2:4], 0)
+	binary.LittleEndian.PutUint32(h[4:8], uint32(b.table))
+	binary.LittleEndian.PutUint32(h[8:12], uint32(b.count))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(payload))
+	crc := crc32.Checksum(h[2:16], crcTable)
+	crc = crc32.Update(crc, crcTable, h[pageHeader:])
+	binary.LittleEndian.PutUint32(h[16:20], crc)
+	return b.buf
+}
+
+// FoldPageCRC folds a sealed page's CRC into a per-table running fold —
+// the value Manifest.Tables[i].CRC records. Folding the page CRCs in
+// order (rather than summing them) makes the fold sensitive to page
+// reordering as well as corruption.
+func FoldPageCRC(fold uint32, page []byte) uint32 {
+	return crc32.Update(fold, crcTable, page[16:20])
+}
+
+// verifyPage checks a page's structure and CRC without decoding entries.
+// It never panics on arbitrary input.
+func verifyPage(p []byte) (table int, count int, crc uint32, ok bool) {
+	if len(p) < pageHeader {
+		return 0, 0, 0, false
+	}
+	if binary.LittleEndian.Uint16(p[0:2]) != pageMagic {
+		return 0, 0, 0, false
+	}
+	payload := int(binary.LittleEndian.Uint32(p[12:16]))
+	if payload < 0 || len(p) != pageHeader+payload {
+		return 0, 0, 0, false
+	}
+	count = int(binary.LittleEndian.Uint32(p[8:12]))
+	if count*12 > payload {
+		return 0, 0, 0, false
+	}
+	crc = crc32.Checksum(p[2:16], crcTable)
+	crc = crc32.Update(crc, crcTable, p[pageHeader:])
+	if crc != binary.LittleEndian.Uint32(p[16:20]) {
+		return 0, 0, 0, false
+	}
+	return int(binary.LittleEndian.Uint32(p[4:8])), count, crc, true
+}
+
+// DecodePage validates a page and calls fn for each record. val aliases
+// the page buffer. It never panics on arbitrary input.
+func DecodePage(p []byte, fn func(key uint64, val []byte) error) (table int, count int, err error) {
+	table, count, _, ok := verifyPage(p)
+	if !ok {
+		return 0, 0, errors.New("wal: invalid checkpoint page")
+	}
+	data := p[pageHeader:]
+	for i := 0; i < count; i++ {
+		if len(data) < 12 {
+			return 0, 0, errors.New("wal: truncated checkpoint page entry")
+		}
+		key := binary.LittleEndian.Uint64(data[0:8])
+		vlen := int(binary.LittleEndian.Uint32(data[8:12]))
+		if vlen < 0 || len(data) < 12+vlen {
+			return 0, 0, errors.New("wal: truncated checkpoint page value")
+		}
+		if err := fn(key, data[12:12+vlen:12+vlen]); err != nil {
+			return 0, 0, err
+		}
+		data = data[12+vlen:]
+	}
+	if len(data) != 0 {
+		return 0, 0, errors.New("wal: trailing bytes in checkpoint page")
+	}
+	return table, count, nil
+}
+
+// EncodeManifest serializes m. Layout: magic u32, version u32, startLSN
+// u64, tailLSN u64, nTables u32, nTables × TableImage, crc u32 over all
+// preceding bytes.
+func EncodeManifest(m *Manifest) []byte {
+	buf := make([]byte, manifestHeader+len(m.Tables)*tableImageSize+4)
+	binary.LittleEndian.PutUint32(buf[0:4], manifestMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], manifestVersion)
+	binary.LittleEndian.PutUint64(buf[8:16], m.StartLSN)
+	binary.LittleEndian.PutUint64(buf[16:24], m.TailLSN)
+	binary.LittleEndian.PutUint32(buf[24:28], uint32(len(m.Tables)))
+	p := buf[manifestHeader:]
+	for _, t := range m.Tables {
+		binary.LittleEndian.PutUint32(p[0:4], uint32(t.Table))
+		binary.LittleEndian.PutUint32(p[4:8], uint32(t.Pages))
+		binary.LittleEndian.PutUint64(p[8:16], t.Records)
+		binary.LittleEndian.PutUint32(p[16:20], t.CRC)
+		p = p[tableImageSize:]
+	}
+	crc := crc32.Checksum(buf[:len(buf)-4], crcTable)
+	binary.LittleEndian.PutUint32(buf[len(buf)-4:], crc)
+	return buf
+}
+
+// DecodeManifest parses and validates a manifest encoding. It never
+// panics on arbitrary input; any structural or checksum mismatch returns
+// an error.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	if len(data) < manifestHeader+4 {
+		return nil, errors.New("wal: manifest too short")
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != manifestMagic {
+		return nil, errors.New("wal: bad manifest magic")
+	}
+	if binary.LittleEndian.Uint32(data[4:8]) != manifestVersion {
+		return nil, errors.New("wal: unknown manifest version")
+	}
+	n := int(binary.LittleEndian.Uint32(data[24:28]))
+	if n < 0 || len(data) != manifestHeader+n*tableImageSize+4 {
+		return nil, errors.New("wal: manifest length mismatch")
+	}
+	crc := crc32.Checksum(data[:len(data)-4], crcTable)
+	if crc != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, errors.New("wal: manifest checksum mismatch")
+	}
+	m := &Manifest{
+		StartLSN: binary.LittleEndian.Uint64(data[8:16]),
+		TailLSN:  binary.LittleEndian.Uint64(data[16:24]),
+		Tables:   make([]TableImage, 0, n),
+	}
+	p := data[manifestHeader:]
+	for i := 0; i < n; i++ {
+		m.Tables = append(m.Tables, TableImage{
+			Table:   int(binary.LittleEndian.Uint32(p[0:4])),
+			Pages:   int(binary.LittleEndian.Uint32(p[4:8])),
+			Records: binary.LittleEndian.Uint64(p[8:16]),
+			CRC:     binary.LittleEndian.Uint32(p[16:20]),
+		})
+		p = p[tableImageSize:]
+	}
+	return m, nil
+}
+
+// validateCheckpoint cross-checks a manifest against its pages: page
+// sequence grouped by table in manifest order, per-page CRCs valid, and
+// per-table folds and record counts matching the manifest.
+func validateCheckpoint(m *Manifest, pages [][]byte) error {
+	idx := 0
+	for _, t := range m.Tables {
+		var fold uint32
+		var records uint64
+		for i := 0; i < t.Pages; i++ {
+			if idx >= len(pages) {
+				return errors.New("wal: checkpoint missing pages")
+			}
+			p := pages[idx]
+			table, count, _, ok := verifyPage(p)
+			if !ok {
+				return errors.New("wal: corrupt checkpoint page")
+			}
+			if table != t.Table {
+				return errors.New("wal: checkpoint page table mismatch")
+			}
+			fold = FoldPageCRC(fold, p)
+			records += uint64(count)
+			idx++
+		}
+		if fold != t.CRC {
+			return errors.New("wal: checkpoint table CRC mismatch")
+		}
+		if records != t.Records {
+			return errors.New("wal: checkpoint table record count mismatch")
+		}
+	}
+	if idx != len(pages) {
+		return errors.New("wal: checkpoint has extra pages")
+	}
+	return nil
+}
+
+// SplitPages re-splits a concatenation of sealed pages (the on-disk
+// layout of DirCheckpointStore's pages file) into individual pages. It
+// never panics on arbitrary input.
+func SplitPages(data []byte) ([][]byte, error) {
+	var pages [][]byte
+	for len(data) > 0 {
+		if len(data) < pageHeader {
+			return nil, errors.New("wal: truncated page stream")
+		}
+		payload := int(binary.LittleEndian.Uint32(data[12:16]))
+		if payload < 0 || len(data) < pageHeader+payload {
+			return nil, errors.New("wal: truncated page stream")
+		}
+		pages = append(pages, data[:pageHeader+payload:pageHeader+payload])
+		data = data[pageHeader+payload:]
+	}
+	return pages, nil
+}
+
+// memCheckpoint is one committed checkpoint held by MemCheckpointStore,
+// kept in encoded form so Load exercises the same decode/validate path a
+// disk store does.
+type memCheckpoint struct {
+	manifest []byte
+	pages    [][]byte
+}
+
+// MemCheckpointStore is an in-memory CheckpointStore for tests and
+// experiments. Its crash-simulation helpers mutate the newest checkpoint
+// the way a torn or corrupted commit would.
+type MemCheckpointStore struct {
+	mu        sync.Mutex
+	committed []*memCheckpoint // oldest → newest, at most checkpointsRetained
+}
+
+// NewMemCheckpointStore returns an empty in-memory store.
+func NewMemCheckpointStore() *MemCheckpointStore { return &MemCheckpointStore{} }
+
+// Begin implements CheckpointStore.
+func (s *MemCheckpointStore) Begin() (CheckpointWriter, error) {
+	return &memCkWriter{store: s}, nil
+}
+
+// Load implements CheckpointStore.
+func (s *MemCheckpointStore) Load() (*Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.committed) - 1; i >= 0; i-- {
+		ck := s.committed[i]
+		m, err := DecodeManifest(ck.manifest)
+		if err != nil {
+			continue
+		}
+		if validateCheckpoint(m, ck.pages) != nil {
+			continue
+		}
+		return &Checkpoint{Manifest: *m, Pages: ck.pages}, nil
+	}
+	return nil, nil
+}
+
+// Count reports how many committed checkpoints the store retains.
+func (s *MemCheckpointStore) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.committed)
+}
+
+// Manifests decodes the retained manifests, oldest → newest, skipping
+// any that no longer decode (after crash-simulation corruption).
+func (s *MemCheckpointStore) Manifests() []Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Manifest, 0, len(s.committed))
+	for _, ck := range s.committed {
+		if m, err := DecodeManifest(ck.manifest); err == nil {
+			out = append(out, *m)
+		}
+	}
+	return out
+}
+
+// DropNewest simulates a crash after the newest checkpoint's pages were
+// written but before its manifest: the checkpoint vanishes as a unit
+// (pages without a manifest are invisible to Load).
+func (s *MemCheckpointStore) DropNewest() {
+	s.mu.Lock()
+	if n := len(s.committed); n > 0 {
+		s.committed = s.committed[:n-1]
+	}
+	s.mu.Unlock()
+}
+
+// CorruptNewestManifest simulates a torn manifest write by flipping a
+// byte in the newest checkpoint's manifest.
+func (s *MemCheckpointStore) CorruptNewestManifest() {
+	s.mu.Lock()
+	if n := len(s.committed); n > 0 {
+		man := append([]byte(nil), s.committed[n-1].manifest...)
+		man[len(man)/2] ^= 0xFF
+		s.committed[n-1].manifest = man
+	}
+	s.mu.Unlock()
+}
+
+// CorruptNewestPage simulates page corruption in the newest checkpoint.
+func (s *MemCheckpointStore) CorruptNewestPage() {
+	s.mu.Lock()
+	if n := len(s.committed); n > 0 && len(s.committed[n-1].pages) > 0 {
+		ck := s.committed[n-1]
+		p := append([]byte(nil), ck.pages[0]...)
+		p[len(p)/2] ^= 0xFF
+		ck.pages[0] = p
+	}
+	s.mu.Unlock()
+}
+
+// memCkWriter accumulates one checkpoint for a MemCheckpointStore.
+type memCkWriter struct {
+	store *MemCheckpointStore
+	pages [][]byte
+}
+
+// Page implements CheckpointWriter, copying p.
+func (w *memCkWriter) Page(p []byte) error {
+	w.pages = append(w.pages, append([]byte(nil), p...))
+	return nil
+}
+
+// Commit implements CheckpointWriter.
+func (w *memCkWriter) Commit(m *Manifest) error {
+	s := w.store
+	s.mu.Lock()
+	s.committed = append(s.committed, &memCheckpoint{manifest: EncodeManifest(m), pages: w.pages})
+	if len(s.committed) > checkpointsRetained {
+		s.committed = s.committed[len(s.committed)-checkpointsRetained:]
+	}
+	s.mu.Unlock()
+	w.pages = nil
+	return nil
+}
+
+// Abort implements CheckpointWriter.
+func (w *memCkWriter) Abort() { w.pages = nil }
+
+// DirCheckpointStore persists checkpoints under a directory: checkpoint
+// N is a pages file ck-<N>.pages (sealed pages concatenated) plus a
+// manifest ck-<N>.manifest written and renamed into place last — the
+// rename is the atomic commit point. The two newest committed
+// checkpoints are retained; older ones are deleted at commit.
+type DirCheckpointStore struct {
+	dir string
+
+	mu  sync.Mutex
+	seq int
+}
+
+// ckName formats a checkpoint file name; fixed-width decimal keeps
+// lexicographic order equal to numeric order.
+func ckName(seq int, ext string) string { return fmt.Sprintf("ck-%08d.%s", seq, ext) }
+
+// OpenDirCheckpointStore opens (creating if needed) a directory-backed
+// store, continuing after the highest existing sequence number.
+func OpenDirCheckpointStore(dir string) (*DirCheckpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	manifests, err := filepath.Glob(filepath.Join(dir, "ck-*.manifest"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(manifests)
+	seq := 0
+	if len(manifests) > 0 {
+		fmt.Sscanf(filepath.Base(manifests[len(manifests)-1]), "ck-%d.manifest", &seq)
+		seq++
+	}
+	return &DirCheckpointStore{dir: dir, seq: seq}, nil
+}
+
+// Begin implements CheckpointStore.
+func (s *DirCheckpointStore) Begin() (CheckpointWriter, error) {
+	s.mu.Lock()
+	seq := s.seq
+	s.seq++
+	s.mu.Unlock()
+	f, err := os.OpenFile(filepath.Join(s.dir, ckName(seq, "pages")), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &dirCkWriter{store: s, seq: seq, pages: f}, nil
+}
+
+// Load implements CheckpointStore.
+func (s *DirCheckpointStore) Load() (*Checkpoint, error) {
+	manifests, err := filepath.Glob(filepath.Join(s.dir, "ck-*.manifest"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(manifests)
+	for i := len(manifests) - 1; i >= 0; i-- {
+		manData, err := os.ReadFile(manifests[i])
+		if err != nil {
+			continue
+		}
+		m, err := DecodeManifest(manData)
+		if err != nil {
+			continue
+		}
+		pageData, err := os.ReadFile(pagesPathFor(manifests[i]))
+		if err != nil {
+			continue
+		}
+		pages, err := SplitPages(pageData)
+		if err != nil {
+			continue
+		}
+		if validateCheckpoint(m, pages) != nil {
+			continue
+		}
+		return &Checkpoint{Manifest: *m, Pages: pages}, nil
+	}
+	return nil, nil
+}
+
+// pagesPathFor maps a manifest path to its pages file path.
+func pagesPathFor(manifestPath string) string {
+	return manifestPath[:len(manifestPath)-len("manifest")] + "pages"
+}
+
+// dirCkWriter streams one checkpoint's pages to disk for a
+// DirCheckpointStore.
+type dirCkWriter struct {
+	store *DirCheckpointStore
+	seq   int
+	pages *os.File
+}
+
+// Page implements CheckpointWriter.
+func (w *dirCkWriter) Page(p []byte) error {
+	_, err := w.pages.Write(p)
+	return err
+}
+
+// Commit implements CheckpointWriter: sync the pages, then publish the
+// manifest via write-to-temp + fsync + rename, then prune to the
+// retention count.
+func (w *dirCkWriter) Commit(m *Manifest) error {
+	if err := w.pages.Sync(); err != nil {
+		return err
+	}
+	if err := w.pages.Close(); err != nil {
+		return err
+	}
+	dir := w.store.dir
+	tmp := filepath.Join(dir, ckName(w.seq, "manifest.tmp"))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(EncodeManifest(m)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ckName(w.seq, "manifest"))); err != nil {
+		return err
+	}
+	// Prune: keep the newest checkpointsRetained committed checkpoints.
+	manifests, err := filepath.Glob(filepath.Join(dir, "ck-*.manifest"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(manifests)
+	for i := 0; i < len(manifests)-checkpointsRetained; i++ {
+		os.Remove(manifests[i])
+		os.Remove(pagesPathFor(manifests[i]))
+	}
+	return nil
+}
+
+// Abort implements CheckpointWriter.
+func (w *dirCkWriter) Abort() {
+	w.pages.Close()
+	os.Remove(filepath.Join(w.store.dir, ckName(w.seq, "pages")))
+}
+
+var (
+	_ CheckpointStore = (*MemCheckpointStore)(nil)
+	_ CheckpointStore = (*DirCheckpointStore)(nil)
+)

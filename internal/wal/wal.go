@@ -169,6 +169,7 @@ func (h *ackHeap) Pop() interface{} {
 // engines hold a *Log unconditionally and pay a nil check when off.
 type Log struct {
 	dev    Device
+	segdev SegmentDevice // dev when it supports segmentation, else nil
 	policy SyncPolicy
 
 	// nextLSN is the last assigned LSN; durableLSN the acknowledged
@@ -209,6 +210,7 @@ func NewLog(dev Device, policy SyncPolicy) *Log {
 	if dev == nil {
 		panic("wal: NewLog needs a Device unless the policy is Off")
 	}
+	l.segdev, _ = dev.(SegmentDevice)
 	l.wake = make(chan struct{}, 1)
 	l.stopc = make(chan struct{})
 	l.donec = make(chan struct{})
@@ -271,8 +273,20 @@ func (l *Log) Drain() {
 	if !l.Enabled() {
 		return
 	}
-	target := l.nextLSN.Load()
-	for l.durableLSN.Load() < target {
+	l.WaitDurable(l.nextLSN.Load())
+}
+
+// WaitDurable blocks until the durable frontier reaches lsn, forcing
+// flusher passes rather than waiting out group-fill windows. The fuzzy
+// checkpointer sits on this barrier before committing a manifest: every
+// record the checkpoint image may depend on must be on the device before
+// the manifest authorizes truncating the log below it. No-op when the
+// log is disabled or lsn is already durable.
+func (l *Log) WaitDurable(lsn uint64) {
+	if !l.Enabled() {
+		return
+	}
+	for l.durableLSN.Load() < lsn {
 		l.force.Store(true)
 		select {
 		case l.wake <- struct{}{}:
@@ -280,6 +294,20 @@ func (l *Log) Drain() {
 		}
 		time.Sleep(20 * time.Microsecond)
 	}
+}
+
+// Truncate drops log segments whose contents lie wholly at or below
+// belowLSN, returning how many segments were dropped. It is a no-op
+// (returning 0) when the log's device is not segmented — truncation is
+// an optimization, never a correctness requirement, so callers need not
+// care which device backs the log. The caller is responsible for the
+// truncation rule: only truncate below an LSN from which a durably
+// committed checkpoint can rebuild the database.
+func (l *Log) Truncate(belowLSN uint64) int {
+	if l == nil || l.segdev == nil {
+		return 0
+	}
+	return l.segdev.Truncate(belowLSN)
 }
 
 // Close drains the log, stops the flusher and closes the device. Safe on
@@ -348,6 +376,7 @@ func (l *Log) flushPass() {
 
 	var stolen int
 	var wroteRecords, wroteBytes uint64
+	var passMaxLSN uint64 // highest LSN among records written this pass
 	for _, a := range apps {
 		a.mu.Lock()
 		buf, acks, waiters := a.buf, a.acks, a.waiters
@@ -373,6 +402,9 @@ func (l *Log) flushPass() {
 		wroteRecords += uint64(len(acks))
 		stolen += len(acks)
 		for _, k := range acks {
+			if k.lsn > passMaxLSN {
+				passMaxLSN = k.lsn
+			}
 			heap.Push(&l.acks, k)
 		}
 		// Recycle the stolen slices so steady state reuses two buffers
@@ -390,6 +422,12 @@ func (l *Log) flushPass() {
 			panic(fmt.Sprintf("wal: device sync failed: %v", err))
 		}
 		l.stSyncs.Add(1)
+		// Segment bookkeeping sits strictly after the sync: rotation only
+		// ever seals fully-synced bytes, so a sealed segment's MaxLSN
+		// bound and its contents are durable together.
+		if l.segdev != nil {
+			l.segdev.Mark(passMaxLSN)
+		}
 	}
 	if wroteRecords > 0 {
 		l.stRecords.Add(wroteRecords)

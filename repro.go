@@ -156,6 +156,84 @@ func WALGroup(k int, interval time.Duration) SyncPolicy { return wal.Group(k, in
 // acknowledgment could have fired before the crash.
 func ReplayWAL(data []byte, db *DB) WALReplayStats { return wal.Replay(data, db) }
 
+// --- checkpoints and recovery ----------------------------------------------
+
+// WALSegmentDevice is a WALDevice rotated across segments so the log can
+// be truncated below a durable checkpoint; see README.md "Checkpointing
+// and parallel recovery".
+type WALSegmentDevice = wal.SegmentDevice
+
+// WALMemSegments is the in-memory segment device (tests, experiments).
+type WALMemSegments = wal.MemSegments
+
+// NewWALMemSegments returns an empty in-memory segment device rotating
+// at segmentBytes (non-positive means the package default, 1 MiB).
+func NewWALMemSegments(segmentBytes int) *WALMemSegments { return wal.NewMemSegments(segmentBytes) }
+
+// OpenWALFileSegments opens a directory of fsync'd, rotated segment
+// files as a WAL device.
+func OpenWALFileSegments(dir string, segmentBytes int) (*wal.FileSegments, error) {
+	return wal.OpenFileSegments(dir, segmentBytes)
+}
+
+// LoadWALFileSegments reads the segment images under dir in sequence
+// order — the recovery input matching OpenWALFileSegments.
+func LoadWALFileSegments(dir string) ([][]byte, error) { return wal.LoadFileSegments(dir) }
+
+// CheckpointStore persists fuzzy checkpoint images; Load returns the
+// newest checkpoint that validates, falling back past a torn or corrupt
+// one to its predecessor.
+type CheckpointStore = wal.CheckpointStore
+
+// CheckpointManifest is a committed checkpoint's metadata: the StartLSN/
+// TailLSN window of the fuzzy walk and the per-table page CRC folds.
+type CheckpointManifest = wal.Manifest
+
+// NewMemCheckpointStore returns an in-memory checkpoint store (tests,
+// experiments); it offers crash-simulation helpers for torn manifests.
+func NewMemCheckpointStore() *wal.MemCheckpointStore { return wal.NewMemCheckpointStore() }
+
+// OpenDirCheckpointStore opens a directory-backed checkpoint store whose
+// commit point is an fsync'd manifest rename.
+func OpenDirCheckpointStore(dir string) (*wal.DirCheckpointStore, error) {
+	return wal.OpenDirCheckpointStore(dir)
+}
+
+// CheckpointConfig configures the background fuzzy checkpointer every
+// engine config embeds (field Checkpoint); a nil Store disables it.
+type CheckpointConfig = engine.CheckpointConfig
+
+// CheckpointStats counts a session's checkpointer work.
+type CheckpointStats = engine.CheckpointStats
+
+// CheckpointedSession is a Session running a checkpointer: Checkpoint()
+// forces one synchronously, CheckpointStats() reports progress.
+type CheckpointedSession = engine.CheckpointedSession
+
+// ForceCheckpoint runs one synchronous checkpoint on a session started
+// from a config with Checkpoint.Store set; it errors on sessions
+// without a checkpointer.
+func ForceCheckpoint(ses Session) error { return engine.ForceCheckpoint(ses) }
+
+// RecoverStats reports one recovery: the checkpoint restored and the
+// log-tail replay on top.
+type RecoverStats = wal.RecoverStats
+
+// RecoverWAL rebuilds committed state onto db from the newest valid
+// checkpoint in store (nil means none) plus the committed prefix of the
+// segmented log tail, using up to workers goroutines (<=0 means
+// GOMAXPROCS) for both the page restore and the partitioned replay.
+func RecoverWAL(store CheckpointStore, segments [][]byte, db *DB, workers int) (RecoverStats, error) {
+	return wal.Recover(store, segments, db, workers)
+}
+
+// ReplayWALSegments replays the committed prefix of a segmented log
+// above LSN after onto db with workers goroutines — ReplayWAL
+// generalized to rotated segments and partition-parallel application.
+func ReplayWALSegments(segments [][]byte, after uint64, workers int, db *DB) WALReplayStats {
+	return wal.ReplaySegments(segments, after, workers, db)
+}
+
 // --- transactions -----------------------------------------------------------
 
 // Txn is one transaction: a declared access set plus a logic closure.
