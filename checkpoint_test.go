@@ -502,3 +502,70 @@ func TestCheckpointCoversAllTableClasses(t *testing.T) {
 		}
 	}
 }
+
+// Versioned-table chunks are imaged through snapshot reads at the WAL's
+// DURABLE frontier, which lags assigned LSNs under async/group commit.
+// The checkpointer must force the frontier up to StartLSN before walking:
+// a chunk snapshotted below StartLSN omits durable updates that replay —
+// which starts past StartLSN — never re-applies, silently losing
+// acknowledged transactions. This test pins the lag deterministically: an
+// async policy whose group trigger and fill window are unreachable keeps
+// the durable frontier at 0 until the checkpoint itself forces it.
+func TestCheckpointStartLSNCoversDurableFrontierLag(t *testing.T) {
+	build := func() (*repro.DB, int) {
+		db := repro.NewDB()
+		tbl := db.Create(repro.Layout{Name: "accounts", NumRecords: 64, RecordSize: 64, Versioned: true})
+		// Populate through Insert — the load path — so each row's base
+		// version holds the loaded image and snapshot reads of keys no
+		// transfer ever touches resolve to it, not to the zero image.
+		rec := make([]byte, 64)
+		repro.PutI64(rec, 0, 1000)
+		for k := uint64(0); k < 64; k++ {
+			if err := db.Table(tbl).Insert(k, rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db, tbl
+	}
+	db, tbl := build()
+	dev := repro.NewWALMemSegments(4 << 10)
+	policy := repro.WALAsync()
+	policy.GroupSize = 1 << 30
+	policy.Interval = time.Hour
+	log := repro.NewWAL(dev, policy)
+	store := repro.NewMemCheckpointStore()
+	eng := repro.NewTwoPL(repro.TwoPLConfig{
+		DB: db, Handler: repro.WaitDie(), Threads: 4, Wal: log,
+		Checkpoint: repro.CheckpointConfig{Store: store, Interval: time.Hour, ChunkRecords: 7},
+	})
+	ses := eng.Start()
+	submitTransfers(ses, tbl, 100, 21)
+	if got, last := log.DurableLSN(), log.LastLSN(); got != 0 || last == 0 {
+		t.Fatalf("durable frontier %d (last assigned %d); the lag this test pins is gone", got, last)
+	}
+	if err := repro.ForceCheckpoint(ses); err != nil {
+		t.Fatal(err)
+	}
+	ses.Drain()
+	ses.Close()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	manifests := store.Manifests()
+	if len(manifests) != 1 {
+		t.Fatalf("retained %d manifests, want 1", len(manifests))
+	}
+	db2, tbl2 := build()
+	st, err := repro.RecoverWAL(store, dev.CrashSegments(), db2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.UsedCheckpoint {
+		t.Fatal("recovery ignored the checkpoint")
+	}
+	if got := sumBalances(db2, tbl2, 64); got != 64*1000 {
+		t.Fatalf("recovered sum = %d, want %d", got, 64*1000)
+	}
+	requireTableEqual(t, "frontier-lag", db, tbl, db2, tbl2)
+}

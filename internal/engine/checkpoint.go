@@ -21,10 +21,14 @@ import (
 // individually is a committed state from the LSN window the manifest
 // records:
 //
-//   - StartLSN is the last assigned LSN when the walk begins. A record
-//     copied later reflects at least everything committed to it by
-//     StartLSN, so replaying the log from StartLSN+1 cannot miss an
-//     update the image lacks.
+//   - StartLSN is the last assigned LSN when the walk begins. Before
+//     copying anything the checkpointer forces the WAL's durable
+//     frontier up to StartLSN, so even the snapshot copy path — which
+//     reads at the durable frontier, a frontier that lags assigned LSNs
+//     under group/async commit — observes at least the state as of
+//     StartLSN. Every record copied thereafter reflects at least
+//     everything committed to it by StartLSN, so replaying the log from
+//     StartLSN+1 cannot miss an update the image lacks.
 //   - TailLSN is the last assigned LSN when the walk ends. No copied
 //     record can reflect a commit past TailLSN, and the checkpointer
 //     waits for the WAL's durable frontier to reach TailLSN before
@@ -38,8 +42,8 @@ import (
 //
 //   - Versioned tables: chunks of keys are read through a ReadOnly
 //     transaction submitted to the engine session — the PR 6 snapshot
-//     path — so each chunk is a committed snapshot at some LSN ≤ the
-//     durable frontier, lock-free.
+//     path — so each chunk is a committed snapshot at some LSN in
+//     [StartLSN, durable frontier], lock-free.
 //   - Unversioned fixed tables and ordered growable tables: chunks are
 //     read through ordinary transactions with declared per-key Read ops;
 //     the engine's record locks guarantee each value read is a committed
@@ -235,6 +239,13 @@ func (cp *Checkpointer) Checkpoint() error {
 		return err
 	}
 	startLSN := cp.log.LastLSN()
+	// Versioned-table chunks are imaged through snapshot reads at the
+	// WAL's durable frontier, which lags assigned LSNs under group/async
+	// commit. Force the frontier up to startLSN before the walk so every
+	// copy path reflects state at least as new as StartLSN — a chunk
+	// snapshotted below StartLSN would omit durable, acknowledged updates
+	// that replay (which starts past StartLSN) never re-applies.
+	cp.log.WaitDurable(startLSN)
 	manifest := &wal.Manifest{StartLSN: startLSN}
 	for tid := 0; tid < cp.db.NumTables(); tid++ {
 		img, err := cp.copyTable(w, tid)

@@ -17,10 +17,13 @@ import (
 // records for one table — plus a manifest committed atomically last. The
 // manifest carries the two LSNs that make a fuzzy image usable:
 //
-//   - StartLSN: the last assigned LSN when the walk began. Every record
-//     in the image reflects a committed state at some LSN ≥ the state as
-//     of StartLSN, so replaying the log tail from StartLSN+1 cannot miss
-//     an update the image lacks.
+//   - StartLSN: the last assigned LSN when the walk began. The
+//     checkpointer forces the durable frontier up to StartLSN before
+//     copying anything, so every record in the image — including chunks
+//     read through the snapshot path, which snapshots at the durable
+//     frontier — reflects a committed state at some LSN ≥ the state as
+//     of StartLSN, and replaying the log tail from StartLSN+1 cannot
+//     miss an update the image lacks.
 //   - TailLSN: the last assigned LSN when the walk ended. Every record in
 //     the image reflects a committed state at some LSN ≤ TailLSN, and the
 //     checkpointer waits for the durable frontier to reach TailLSN before
@@ -482,11 +485,20 @@ func OpenDirCheckpointStore(dir string) (*DirCheckpointStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(manifests)
+	// Continue past the highest existing sequence number. An unparseable
+	// matching name fails Open outright: silently treating it as seq 0
+	// would let Begin's O_TRUNC overwrite a live checkpoint's pages file
+	// while its manifest remains, invalidating that checkpoint.
 	seq := 0
-	if len(manifests) > 0 {
-		fmt.Sscanf(filepath.Base(manifests[len(manifests)-1]), "ck-%d.manifest", &seq)
-		seq++
+	for _, name := range manifests {
+		base := filepath.Base(name)
+		var n int
+		if _, err := fmt.Sscanf(base, "ck-%d.manifest", &n); err != nil {
+			return nil, fmt.Errorf("wal: unparseable checkpoint manifest name %q", base)
+		}
+		if n+1 > seq {
+			seq = n + 1
+		}
 	}
 	return &DirCheckpointStore{dir: dir, seq: seq}, nil
 }
@@ -585,15 +597,32 @@ func (w *dirCkWriter) Commit(m *Manifest) error {
 	if err := os.Rename(tmp, filepath.Join(dir, ckName(w.seq, "manifest"))); err != nil {
 		return err
 	}
-	// Prune: keep the newest checkpointsRetained committed checkpoints.
+	// The rename is the commit point, but it is durable only once the
+	// directory itself is synced — and the caller treats a nil return as
+	// authorization to truncate the log below this checkpoint's
+	// predecessor, so durability must be established before returning.
+	// The same sync persists the pages file's directory entry (created
+	// in Begin).
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// Prune: keep the newest checkpointsRetained committed checkpoints,
+	// syncing the directory again so the unlinks are durable too.
 	manifests, err := filepath.Glob(filepath.Join(dir, "ck-*.manifest"))
 	if err != nil {
 		return err
 	}
 	sort.Strings(manifests)
+	pruned := false
 	for i := 0; i < len(manifests)-checkpointsRetained; i++ {
 		os.Remove(manifests[i])
 		os.Remove(pagesPathFor(manifests[i]))
+		pruned = true
+	}
+	if pruned {
+		if err := syncDir(dir); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -237,3 +237,16 @@ func TestValidateCheckpointRejectsMismatchedPages(t *testing.T) {
 		t.Fatal("missing page accepted")
 	}
 }
+
+// A matching-but-unparseable manifest name must fail Open: silently
+// treating it as sequence 0 would let Begin's O_TRUNC overwrite a live
+// checkpoint's pages file while its manifest remains, invalidating it.
+func TestOpenDirCheckpointStoreRejectsUnparseableNames(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ck-garbage.manifest"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDirCheckpointStore(dir); err == nil {
+		t.Fatal("OpenDirCheckpointStore accepted an unparseable manifest name")
+	}
+}

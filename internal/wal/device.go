@@ -86,6 +86,21 @@ func (d *MemDevice) Syncs() uint64 {
 	return d.syncs
 }
 
+// syncDir fsyncs a directory, making the file creations, renames and
+// removals inside it durable — fsyncing a file persists its contents,
+// not the directory entry that names it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // FileDevice is a Device over an append-mode file; Sync is fsync.
 type FileDevice struct {
 	f *os.File

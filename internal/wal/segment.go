@@ -212,10 +212,19 @@ func OpenFileSegments(dir string, segmentBytes int) (*FileSegments, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Continue past the highest existing sequence number. An unparseable
+	// matching name fails Open outright: silently treating it as seq 0
+	// would reopen (and append to) an existing segment file.
 	seq := 0
-	if len(names) > 0 {
-		fmt.Sscanf(filepath.Base(names[len(names)-1]), "seg-%d.wal", &seq)
-		seq++
+	for _, name := range names {
+		base := filepath.Base(name)
+		var n int
+		if _, err := fmt.Sscanf(base, "seg-%d.wal", &n); err != nil {
+			return nil, fmt.Errorf("wal: unparseable segment file name %q", base)
+		}
+		if n+1 > seq {
+			seq = n + 1
+		}
 	}
 	d := &FileSegments{dir: dir, segmentBytes: segmentBytes, seq: seq}
 	if err := d.openActive(); err != nil {
@@ -227,6 +236,14 @@ func OpenFileSegments(dir string, segmentBytes int) (*FileSegments, error) {
 func (d *FileSegments) openActive() error {
 	f, err := os.OpenFile(filepath.Join(d.dir, segName(d.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		return err
+	}
+	// Make the segment's directory entry durable now: its records are
+	// fsync'd to the file before acknowledgment, but a file-content fsync
+	// does not persist the entry that names the file, and losing that
+	// entry loses every acknowledged record in the segment.
+	if err := syncDir(d.dir); err != nil {
+		f.Close()
 		return err
 	}
 	d.f, d.written, d.maxLSN = f, 0, 0
@@ -295,6 +312,13 @@ func (d *FileSegments) Truncate(belowLSN uint64) int {
 		kept = append(kept, s)
 	}
 	d.sealed = kept
+	// Sync the directory so the unlinks are durable: a crash must not
+	// resurrect segments the truncation rule already dropped.
+	if dropped > 0 {
+		if err := syncDir(d.dir); err != nil {
+			panic(fmt.Sprintf("wal: syncing directory after truncation: %v", err))
+		}
+	}
 	return dropped
 }
 

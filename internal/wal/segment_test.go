@@ -275,3 +275,15 @@ func TestFileSegmentsRoundTripAndTruncate(t *testing.T) {
 		}
 	}
 }
+
+// A matching-but-unparseable segment name must fail Open rather than
+// silently restarting the sequence at 0 over existing segment files.
+func TestOpenFileSegmentsRejectsUnparseableNames(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-garbage.wal"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileSegments(dir, 0); err == nil {
+		t.Fatal("OpenFileSegments accepted an unparseable segment name")
+	}
+}
