@@ -32,14 +32,22 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/orthrus"
+	"repro/internal/storage"
+	"repro/internal/workload"
 )
 
 // startProfiles turns on the requested profilers and returns a stop
@@ -107,6 +115,11 @@ func main() {
 		scanLen    = flag.Int("scan-maxlen", 0, "scan experiment: pin the max scan length (0 sweeps, out-of-range panics)")
 		roPct      = flag.Int("readonly-pct", 0, "htap experiment: pin the analytics fraction (percent; 0 uses the default, out-of-range panics)")
 		jsonDir    = flag.String("json", "", "also write each experiment's series as JSON rows to <dir>/BENCH_<id>.json")
+		transport  = flag.String("transport", "inproc", "message plane: inproc, or tcp for the two-process split (give -listen on the cc node, -peers on the exec node)")
+		listen     = flag.String("listen", "", "tcp node mode, cc role: host:port to accept the exec node on (port 0 picks a free port; the bound address is printed as 'LISTEN <addr>')")
+		peers      = flag.String("peers", "", "tcp node mode, exec role: the cc node's host:port")
+		ccThreads  = flag.Int("cc-threads", 2, "tcp node mode: CC thread count (must match on both nodes)")
+		exThreads  = flag.Int("exec-threads", 8, "tcp node mode: execution thread count (must match on both nodes)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
 		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
@@ -115,6 +128,23 @@ func main() {
 
 	stopProfiles := startProfiles(*cpuProf, *memProf, *mutexProf)
 	defer stopProfiles()
+
+	switch *transport {
+	case "inproc":
+		if *listen != "" || *peers != "" {
+			fmt.Fprintln(os.Stderr, "orthrus-bench: -listen/-peers require -transport tcp")
+			os.Exit(2)
+		}
+		// The distributed experiment runs its cc node as a real second
+		// process by re-executing this binary in tcp node mode.
+		harness.NodeCommand = spawnCCNode
+	case "tcp":
+		runTCPNode(*listen, *peers, *ccThreads, *exThreads, *duration, *records, *recordSize)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "orthrus-bench: unknown -transport %q (want inproc or tcp)\n", *transport)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("Available experiments:")
@@ -159,4 +189,106 @@ func main() {
 		fmt.Fprintf(os.Stderr, "orthrus-bench: %s: %v\n", e.ID, err)
 		os.Exit(1)
 	}
+}
+
+// fail prints a CLI error and exits; the tcp node modes use it in place
+// of the engine's panics so a two-process run dies with a readable line.
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "orthrus-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runTCPNode runs one half of the two-process split. With -listen this
+// process is the cc node: it binds, advertises the address on stdout,
+// and serves lock management until the exec node's goodbye. With -peers
+// it is the exec node: it dials the cc node, drives the transfer
+// workload for the configured duration, property-checks conservation,
+// and reports throughput plus the wire counters.
+func runTCPNode(listen, peers string, cc, ex int, duration time.Duration, records uint64, recordSize int) {
+	if (listen == "") == (peers == "") {
+		fail("-transport tcp needs exactly one of -listen (cc node) or -peers (exec node)")
+	}
+	db := storage.NewDB()
+	tbl := db.Create(storage.Layout{Name: "ycsb", NumRecords: records, RecordSize: recordSize})
+
+	if listen != "" {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			fail("listen %s: %v", listen, err)
+		}
+		fmt.Printf("LISTEN %s\n", ln.Addr())
+		eng := orthrus.New(orthrus.Config{DB: db, CCThreads: cc, ExecThreads: ex,
+			Transport: orthrus.TransportConfig{Kind: "tcp", Role: "cc", Listener: ln}})
+		eng.Start().Close() // Close gates on the exec node's goodbye
+		m := eng.Messages()
+		fmt.Printf("cc node done: handled %d acquires, %d forwards, %d releases; sent %d grants in %d frames (%.1f msgs/frame, %d bytes)\n",
+			sumPerCC(m, func(s orthrus.CCStats) uint64 { return s.Acquires }),
+			m.Forwards, sumPerCC(m, func(s orthrus.CCStats) uint64 { return s.Releases }),
+			m.Grants, m.Net.FramesSent, m.Net.MessagesPerFrame(), m.Net.BytesSent)
+		return
+	}
+
+	eng := orthrus.New(orthrus.Config{DB: db, CCThreads: cc, ExecThreads: ex,
+		Transport: orthrus.TransportConfig{Kind: "tcp", Role: "exec", Peer: peers}})
+	src := &workload.Transfer{Table: tbl, NumRecords: records}
+	res := eng.Run(src, duration)
+	var sum uint64
+	for k := uint64(0); k < records; k++ {
+		sum += storage.GetU64(db.Table(tbl).Get(k), 0)
+	}
+	m := eng.Messages()
+	fmt.Printf("exec node done: %.0f txns/sec, %d committed, %d aborted, p99 %dus; sent %d msgs in %d frames (%.1f msgs/frame, %d bytes)\n",
+		res.Throughput(), res.Totals.Committed, res.Totals.Aborted,
+		res.Totals.Latency.Percentile(99).Microseconds(),
+		m.Net.MessagesSent, m.Net.FramesSent, m.Net.MessagesPerFrame(), m.Net.BytesSent)
+	if sum != 0 {
+		fail("conservation violated: transfer table sums to %d, want 0", sum)
+	}
+	fmt.Println("conservation: ok")
+}
+
+func sumPerCC(m orthrus.MessageStats, f func(orthrus.CCStats) uint64) uint64 {
+	var s uint64
+	for _, cs := range m.PerCC {
+		s += f(cs)
+	}
+	return s
+}
+
+// spawnCCNode is harness.NodeCommand: it re-executes this binary as the
+// cc node on a loopback port, scans its stdout for the advertised
+// address, and returns a wait for clean child exit.
+func spawnCCNode(c harness.Config, cc, ex int) (string, func() error) {
+	exe, err := os.Executable()
+	if err != nil {
+		fail("distributed: locating own binary: %v", err)
+	}
+	cmd := exec.Command(exe,
+		"-transport", "tcp", "-listen", "127.0.0.1:0",
+		"-cc-threads", strconv.Itoa(cc), "-exec-threads", strconv.Itoa(ex),
+		"-records", strconv.FormatUint(c.Records, 10),
+		"-recordsize", strconv.Itoa(c.RecordSize))
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		fail("distributed: cc node stdout: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		fail("distributed: starting cc node: %v", err)
+	}
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "LISTEN "); ok {
+			return addr, func() error {
+				for sc.Scan() {
+					// Drain the child's report so its exit is clean.
+				}
+				return cmd.Wait()
+			}
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	fail("distributed: cc node exited without advertising its address")
+	return "", nil
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotPath(t *testing.T) {
-	atest.Run(t, "testdata", hotpath.Analyzer, "a", "clean")
+	atest.Run(t, "testdata", hotpath.Analyzer, "a", "clean", "tport")
 }

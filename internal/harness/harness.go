@@ -140,6 +140,7 @@ func Registry() []Experiment {
 		{"scan", "Extension", "phantom-safe range-scan throughput/p99 vs scan fraction and length", scanExp},
 		{"htap", "Extension", "MVCC snapshot scans vs locking scans under a contended write mix", htapExp},
 		{"recovery", "Extension", "recovery time vs checkpoint interval; parallel vs serial replay", recoveryExp},
+		{"distributed", "Extension", "two-node CC/exec split over loopback TCP vs the in-process message plane", distributed},
 	}
 }
 

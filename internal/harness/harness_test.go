@@ -26,7 +26,7 @@ func TestRegistryCoversEveryFigure(t *testing.T) {
 	want := []string{"fig1", "fig4a", "fig4b", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12a", "fig12b",
 		"openloop", "batching", "adaptive", "durability", "scan", "htap",
-		"recovery"}
+		"recovery", "distributed"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))

@@ -516,12 +516,12 @@ func (c *ccThread) advance(w *wrapper) {
 		w.hopIdx++
 		next := w.hops[w.hopIdx]
 		c.s.nForwards.Add(1)
-		c.pushForward(next, message{kind: msgAcquire, w: w})
+		c.pushForward(next, message{kind: msgAcquire, w: w, id: w.id})
 		return
 	}
 	c.s.nGrants.Add(1)
 	c.nGrant++
-	c.pushGrant(w.owner, message{kind: msgAcquire, w: w})
+	c.pushGrant(w.owner, message{kind: msgAcquire, w: w, id: w.id})
 }
 
 // releaseTxn drops this CC thread's locks for w; newly granted requests

@@ -170,6 +170,10 @@ type Config struct {
 	// checkpointer over the session (requires an enabled Wal); see
 	// engine.CheckpointConfig.
 	Checkpoint engine.CheckpointConfig
+	// Transport selects the message-plane backend: the zero value is
+	// the in-process ring plane; Kind "tcp" splits CC and execution
+	// threads across two OS processes (see TransportConfig).
+	Transport TransportConfig
 }
 
 // CCStats is one CC thread's share of the message plane — the per-thread
@@ -228,6 +232,10 @@ type MessageStats struct {
 	// closed: the configured static value, or wherever the adaptive
 	// controller (Config.BatchSize=0) had converged.
 	ExecBatch []int
+
+	// Net counts the session's wire traffic — zero on the in-process
+	// plane, per-node frame/message/byte counters on the tcp transport.
+	Net NetStats
 }
 
 // AcquisitionMessages returns the messages spent acquiring locks
@@ -257,10 +265,16 @@ const (
 )
 
 // message is the unit exchanged on rings. Forwarded acquires and grants
-// reuse msgAcquire: the receiver's role disambiguates.
+// reuse msgAcquire: the receiver's role disambiguates. id mirrors
+// wrapper.id at push time so the networked transport can serialize a
+// release after its wrapper was recycled (releases cross the wire as
+// the id alone) and deliver a grant whose wrapper lives in another
+// process (w is then nil and the owning exec thread resolves the id);
+// the in-process plane ignores it.
 type message struct {
 	kind uint8
 	w    *wrapper
+	id   uint64
 }
 
 // wrapper carries a transaction through the CC chain. Field ownership:
@@ -289,6 +303,12 @@ type wrapper struct {
 	start time.Time  // window-entry time, for commit-latency measurement
 	done  func(bool) // session completion callback; may be nil
 
+	// id is the transaction's wire identity on the networked transport:
+	// unique per submission attempt (tcp mode draws a fresh id for each
+	// OLLP replan, so one id never names two generations of lock
+	// state). The in-process plane carries it but never reads it.
+	id uint64
+
 	epoch   uint64     // routing epoch the chain was planned under
 	hops    []int      // CC ids, ascending
 	opsByCC [][]txn.Op // parallel to hops
@@ -298,6 +318,12 @@ type wrapper struct {
 	pending      int
 	releasesLeft atomic.Int32
 	refs         atomic.Int32
+
+	// wireReleases is the CC node's reader-private countdown of release
+	// messages still expected for this wrapper's wire id (touched only
+	// by the transport's single reader goroutine; see
+	// tcpTransport.materialize).
+	wireReleases int
 }
 
 // resetPlan truncates the planning slices, keeping every backing array
@@ -360,6 +386,15 @@ func (c Config) Validate() {
 	c.Controller.Validate()
 	c.Snapshot.Validate()
 	c.Checkpoint.Validate()
+	c.Transport.Validate()
+	if c.Transport.remote() {
+		if c.Controller.Enable {
+			panic("orthrus: the adaptive controller requires the in-process transport (live migration is node-local)")
+		}
+		if c.UseChannels {
+			panic("orthrus: UseChannels is an in-process ring ablation; incompatible with Transport.Kind \"tcp\"")
+		}
+	}
 }
 
 // New validates the configuration and returns an engine.
@@ -405,6 +440,9 @@ func (e *Engine) Name() string {
 	if e.cfg.Controller.Enable {
 		base += "-elastic"
 	}
+	if e.cfg.Transport.remote() {
+		base += "-tcp/" + e.cfg.Transport.Role
+	}
 	return fmt.Sprintf("%s(%dcc/%dex)", base, e.cfg.CCThreads, e.cfg.ExecThreads)
 }
 
@@ -437,7 +475,10 @@ type pidCounter struct {
 
 // runState is per-Run message-plane state.
 type runState struct {
-	cfg      Config
+	cfg Config
+	// tr is the message-plane backend; it populates the three queue
+	// planes below (install) and owns any cross-process machinery.
+	tr       Transport
 	execToCC [][]spsc.Queue[message] // [exec][cc]
 	ccToCC   [][]spsc.Queue[message] // [from][to], used only for from < to
 	ccToExec [][]spsc.Queue[message] // [cc][exec]
@@ -502,40 +543,6 @@ func (o *opCounter) flush(s *runState) {
 func (e *Engine) newRunState() *runState {
 	cfg := e.cfg
 	s := &runState{cfg: cfg}
-	grantCap := cfg.QueueCap
-	if grantCap < cfg.Inflight {
-		// A CC thread must never block sending grants (liveness of the
-		// message plane relies on it), so grant rings hold the whole
-		// in-flight window.
-		grantCap = cfg.Inflight
-	}
-	newQ := func(capacity int) spsc.Queue[message] {
-		if cfg.UseChannels {
-			return spsc.NewChan[message](capacity)
-		}
-		return spsc.New[message](capacity)
-	}
-	s.execToCC = make([][]spsc.Queue[message], cfg.ExecThreads)
-	for i := range s.execToCC {
-		s.execToCC[i] = make([]spsc.Queue[message], cfg.CCThreads)
-		for j := range s.execToCC[i] {
-			s.execToCC[i][j] = newQ(cfg.QueueCap)
-		}
-	}
-	s.ccToCC = make([][]spsc.Queue[message], cfg.CCThreads)
-	s.ccToExec = make([][]spsc.Queue[message], cfg.CCThreads)
-	for i := range s.ccToCC {
-		s.ccToCC[i] = make([]spsc.Queue[message], cfg.CCThreads)
-		for j := range s.ccToCC[i] {
-			if i != j {
-				s.ccToCC[i][j] = newQ(cfg.QueueCap)
-			}
-		}
-		s.ccToExec[i] = make([]spsc.Queue[message], cfg.ExecThreads)
-		for j := range s.ccToExec[i] {
-			s.ccToExec[i][j] = newQ(grantCap)
-		}
-	}
 	if cfg.SharedTable {
 		s.shared = newSharedTable(1 << 12)
 	}
@@ -560,6 +567,11 @@ func (e *Engine) newRunState() *runState {
 		return a
 	}
 	s.execBatch = make([]int, cfg.ExecThreads)
+	// The backend builds the queue planes last: the tcp transport's
+	// handshake ships the routing table stored above, and its reader
+	// goroutine touches the pools and gauges once installed.
+	s.tr = newTransport(cfg)
+	s.tr.install(s)
 	return s
 }
 
@@ -588,6 +600,7 @@ func (s *runState) dropRef(w *wrapper) {
 func (s *runState) putWrapper(w *wrapper) {
 	w.t, w.done = nil, nil
 	w.hopIdx, w.pending = 0, 0
+	w.id, w.wireReleases = 0, 0
 	w.resetPlan()
 	s.wraps.Put(w)
 }
@@ -669,19 +682,25 @@ func (e *Engine) Start() engine.Session {
 		snaps:  snaps,
 		start:  time.Now(),
 	}
-	for c := 0; c < e.cfg.CCThreads; c++ {
-		ses.ccWg.Add(1)
-		go func(c int) {
-			defer ses.ccWg.Done()
-			newCCThread(ses.s, c).loop()
-		}(c)
+	// On the tcp transport only this node's role runs threads; the
+	// peer process hosts the other role's.
+	if ses.s.tr.hostsCC() {
+		for c := 0; c < e.cfg.CCThreads; c++ {
+			ses.ccWg.Add(1)
+			go func(c int) {
+				defer ses.ccWg.Done()
+				newCCThread(ses.s, c).loop()
+			}(c)
+		}
 	}
-	for x := 0; x < e.cfg.ExecThreads; x++ {
-		ses.execWg.Add(1)
-		go func(x int) {
-			defer ses.execWg.Done()
-			newExecThread(ses, x, ses.set.Thread(x)).loop()
-		}(x)
+	if ses.s.tr.hostsExec() {
+		for x := 0; x < e.cfg.ExecThreads; x++ {
+			ses.execWg.Add(1)
+			go func(x int) {
+				defer ses.execWg.Done()
+				newExecThread(ses, x, ses.set.Thread(x)).loop()
+			}(x)
+		}
 	}
 	if e.cfg.Controller.Enable {
 		ses.ctrl = newController(ses, e.cfg.Controller)
@@ -697,6 +716,9 @@ func (e *Engine) Start() engine.Session {
 func (ses *session) Submit(t *txn.Txn, done func(committed bool)) {
 	if ses.closed.Load() {
 		panic("orthrus: " + ses.e.Name() + ": Submit on a closed session")
+	}
+	if !ses.s.tr.hostsExec() {
+		panic("orthrus: " + ses.e.Name() + ": Submit on a node with no execution threads (submit to the exec node)")
 	}
 	ses.inflight.Add(1)
 	ses.submit <- engine.Submission{Txn: t, Done: done}
@@ -726,8 +748,14 @@ func (ses *session) Close() metrics.Result {
 	ses.e.cfg.Wal.Drain() // log tail: Async acks run ahead of the device
 	ses.execStop.Store(true)
 	ses.execWg.Wait()
+	// Networked shutdown barrier: the exec node flushes its last frames
+	// and says goodbye; the cc node holds here until that goodbye, so
+	// its CC threads' final drain pass below sees every release.
+	ses.s.tr.execDone()
+	ses.s.tr.ccGate()
 	ses.s.ccStop.Store(true)
 	ses.ccWg.Wait()
+	netStats := ses.s.tr.shutdown()
 
 	ses.e.msgs = MessageStats{
 		Acquires:   ses.s.nAcquires.Load(),
@@ -738,6 +766,7 @@ func (ses *session) Close() metrics.Result {
 		DequeueOps: ses.s.nDeqOps.Load(),
 		PerCC:      ses.perCCStats(),
 		ExecBatch:  append([]int(nil), ses.s.execBatch...),
+		Net:        netStats,
 	}
 	if ses.ctrl != nil {
 		ses.e.ctrl = ses.ctrl.stats
@@ -825,6 +854,12 @@ type execThread struct {
 	scratch []message
 	ops     opCounter
 
+	// pend maps in-flight wire ids to their wrappers — non-nil only
+	// when the CC threads live in another process (tcp transport), so
+	// grants arrive as bare ids this thread must resolve. Private to
+	// this thread: entries are added in submit and removed in finish.
+	pend map[uint64]*wrapper
+
 	// wal is this thread's redo append buffer (nil when durability is
 	// off). Commits pipeline into it at pre-commit and the window slot
 	// frees immediately, so flush latency overlaps new transactions the
@@ -856,6 +891,9 @@ func newExecThread(ses *session, id int, stats *metrics.ThreadStats) *execThread
 	}
 	if cfg.CCThreads > 64 {
 		x.countBuf = make([]int, cfg.CCThreads)
+	}
+	if !ses.s.tr.hostsCC() {
+		x.pend = make(map[uint64]*wrapper, cfg.Inflight*2)
 	}
 	if cfg.Wal.Enabled() {
 		x.wal = cfg.Wal.NewAppender(stats)
@@ -969,7 +1007,15 @@ func (x *execThread) drainGrants() bool {
 			}
 			x.ops.deq++
 			for i := 0; i < n; i++ {
-				x.handleGrant(x.scratch[i].w)
+				w := x.scratch[i].w
+				if w == nil {
+					// Remote grant: the CC node sent only the wire id.
+					w = x.pend[x.scratch[i].id]
+					if w == nil {
+						panic("orthrus: grant for unknown wire transaction id")
+					}
+				}
+				x.handleGrant(w)
 			}
 			progress = true
 			if n < len(x.scratch) {
@@ -1027,6 +1073,7 @@ func (x *execThread) submit(t *txn.Txn, done func(bool), start time.Time) {
 	t.SortOps()
 	w := x.s.wraps.Get().(*wrapper)
 	w.t, w.owner, w.start, w.done = t, x.id, start, done
+	w.id = t.ID
 
 	for {
 		rt := x.s.rt.Load()
@@ -1044,6 +1091,23 @@ func (x *execThread) submit(t *txn.Txn, done func(bool), start time.Time) {
 			w.refs.Store(1)
 			x.finish(w)
 			return
+		}
+		if x.pend != nil {
+			// Remote CC plane: migrations are impossible (Validate
+			// forbids the controller with tcp), so the routing table is
+			// immutable and the epoch registration dance is unnecessary
+			// — the CC node registers its twin wrapper in its own epoch
+			// gauge. Release processing also happens entirely over
+			// there, so the only local references are this thread's
+			// and, when durable, the ack's. The wire id is fresh per
+			// attempt: an OLLP replan must not alias the previous
+			// generation's in-flight releases on the CC node.
+			w.epoch = rt.epoch
+			w.releasesLeft.Store(0)
+			w.refs.Store(1)
+			w.id = x.ids.Next()
+			x.pend[w.id] = w
+			break
 		}
 		x.s.epochs.add(rt.epoch, 1)
 		if x.s.rt.Load() != rt {
@@ -1063,7 +1127,7 @@ func (x *execThread) submit(t *txn.Txn, done func(bool), start time.Time) {
 
 	x.inflight++
 	x.s.nAcquires.Add(1)
-	x.push(w.hops[0], message{kind: msgAcquire, w: w})
+	x.push(w.hops[0], message{kind: msgAcquire, w: w, id: w.id})
 }
 
 // plan groups the transaction's ops by owning CC thread under rt,
@@ -1188,7 +1252,7 @@ func (x *execThread) handleGrant(w *wrapper) {
 	if x.s.cfg.DisableForwarding && w.hopIdx+1 < len(w.hops) {
 		w.hopIdx++
 		x.s.nAcquires.Add(1)
-		x.push(w.hops[w.hopIdx], message{kind: msgAcquire, w: w})
+		x.push(w.hops[w.hopIdx], message{kind: msgAcquire, w: w, id: w.id})
 		return
 	}
 	x.finish(w)
@@ -1198,6 +1262,12 @@ func (x *execThread) handleGrant(w *wrapper) {
 // releases (or re-plans after an OLLP estimate miss).
 func (x *execThread) finish(w *wrapper) {
 	t := w.t
+	if x.pend != nil {
+		// The chain is complete; the wire id is no longer grantable.
+		// (DisableForwarding's intermediate grants go through
+		// handleGrant without reaching here, keeping the id live.)
+		delete(x.pend, w.id)
+	}
 	start := time.Now()
 	x.ctx.Begin(t)
 	err := t.Logic(&x.ctx)
@@ -1287,7 +1357,7 @@ func (x *execThread) deferCommit(w *wrapper) func() {
 func (x *execThread) release(w *wrapper) {
 	for _, c := range w.hops {
 		x.s.nReleases.Add(1)
-		x.push(c, message{kind: msgRelease, w: w})
+		x.push(c, message{kind: msgRelease, w: w, id: w.id})
 	}
 }
 

@@ -223,9 +223,12 @@ func (r *Ring[T]) Close() { r.closed.Store(true) }
 // Closed reports whether Close has been called.
 func (r *Ring[T]) Closed() bool { return r.closed.Load() }
 
-// Queue is the transport abstraction shared by the SPSC ring and the
-// channel-based alternative, so the ORTHRUS message plane can be ablated
-// against Go channels (README.md "Ablations").
+// Queue is the transport abstraction shared by the SPSC ring, the
+// channel-based alternative (so the ORTHRUS message plane can be ablated
+// against Go channels, README.md "Ablations"), and the networked
+// message plane's send-only adapter (internal/orthrus's netQueue, which
+// turns each TryEnqueueBatch pass into one wire frame; its dequeue
+// methods panic because the consuming half lives in the peer process).
 type Queue[T any] interface {
 	TryEnqueue(T) bool
 	Enqueue(T) bool

@@ -1,0 +1,8 @@
+//go:build !race
+
+package transport
+
+// raceEnabled gates the strict zero-allocation assertions: the race
+// detector instruments allocations, so under -race the same code paths
+// legitimately allocate.
+const raceEnabled = false

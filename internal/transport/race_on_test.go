@@ -1,0 +1,6 @@
+//go:build race
+
+package transport
+
+// raceEnabled mirrors race_off_test.go under the race detector.
+const raceEnabled = true
